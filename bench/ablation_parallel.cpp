@@ -1,0 +1,100 @@
+// Ablation (ours): parallel B&B speedup.
+//
+// Scans seeds for paper-style instances whose sequential optimal search is
+// substantial but bounded, then solves each with 1, 2, 4, ... worker
+// threads. Costs must agree across thread counts; wall time should shrink.
+// (Vertex counts vary run-to-run in parallel mode: incumbent improvements
+// propagate asynchronously.)
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "parabb/bnb/parallel_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parabb;
+  using namespace parabb::bench;
+
+  ArgParser parser("ablation_parallel", "Ablation: parallel B&B speedup");
+  add_common_options(parser);
+  parser.add_option("instances", "number of qualifying instances", "3");
+  parser.add_option("min-vertices",
+                    "minimum sequential searched vertices to qualify",
+                    "50000");
+  auto setup = parse_common(parser, argc, argv);
+  if (!setup) return 0;
+
+  // Tighter deadlines make nontrivial searches common (see DESIGN.md).
+  SlicingConfig tight;
+  tight.base = LaxityBase::kPathWork;
+  tight.laxity = 1.1;
+
+  const int m = setup->cfg.machine_sizes.size() > 1
+                    ? setup->cfg.machine_sizes[1]
+                    : setup->cfg.machine_sizes.front();
+  const auto want = static_cast<int>(parser.get_int("instances"));
+  const auto min_vertices =
+      static_cast<std::uint64_t>(parser.get_int("min-vertices"));
+  const double cap = setup->quick ? 2.0 : 10.0;
+
+  std::printf("# Ablation — parallel B&B speedup (m=%d)\n", m);
+  std::printf("expected shape: equal costs at every thread count; wall "
+              "time shrinks with threads until the search is too small to "
+              "feed all workers\n\n");
+
+  std::vector<int> thread_counts{1, 2, 4};
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw >= 8) thread_counts.push_back(8);
+
+  TextTable table;
+  {
+    std::vector<std::string> header{"seed", "seq vertices", "seq cost"};
+    for (const int t : thread_counts) {
+      header.push_back("t" + std::to_string(t) + " ms");
+      header.push_back("t" + std::to_string(t) + " spd");
+    }
+    header.push_back("costs agree");
+    table.set_header(std::move(header));
+  }
+
+  int found = 0;
+  for (std::uint64_t seed = 0; seed < 512 && found < want; ++seed) {
+    GeneratedGraph gen =
+        generate_graph(setup->cfg.workload, derive_seed(setup->cfg.seed,
+                                                        seed));
+    assign_deadlines_slicing(gen.graph, tight);
+    const SchedContext ctx(gen.graph, make_shared_bus_machine(m));
+
+    Params p = base_params(*setup);
+    p.rb.time_limit_s = cap;
+    p.rb.max_active = std::numeric_limits<std::size_t>::max();
+    const SearchResult seq = solve_bnb(ctx, p);
+    if (!seq.proved || seq.stats.generated < min_vertices) continue;
+    ++found;
+
+    std::vector<std::string> row{
+        std::to_string(seed), std::to_string(seq.stats.generated),
+        std::to_string(seq.best_cost)};
+    bool agree = true;
+    for (const int t : thread_counts) {
+      ParallelParams pp;
+      pp.base = p;
+      pp.threads = t;
+      const ParallelResult par = solve_bnb_parallel(ctx, pp);
+      agree = agree && par.best_cost == seq.best_cost;
+      row.push_back(fmt_double(par.stats.seconds * 1e3, 1));
+      row.push_back(
+          fmt_double(seq.stats.seconds / par.stats.seconds, 2) + "x");
+    }
+    row.push_back(agree ? "yes" : "NO");
+    table.add_row(std::move(row));
+  }
+  if (found == 0) {
+    std::printf("no qualifying instance found (raise --max-reps or lower "
+                "--min-vertices)\n");
+    return 0;
+  }
+  emit("parallel B&B speedup", table, setup->csv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared command-line wiring and reporting for the reproduction benches.
+//
+// Every bench accepts the same base options (replication plan, machine
+// sizes, workload knobs, per-run resource bounds, CSV output) and differs
+// only in the algorithm variants it compares and the parameter it sweeps.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "parabb/experiments/experiment.hpp"
+#include "parabb/experiments/report.hpp"
+#include "parabb/support/cli.hpp"
+
+namespace parabb::bench {
+
+struct BenchSetup {
+  ExperimentConfig cfg;   ///< base config (variants added by the bench)
+  std::string csv;        ///< CSV output path ("" = none)
+  double time_limit_s = 1.0;     ///< per-run RB.TIMELIMIT
+  std::size_t max_active = 250'000;  ///< per-run RB.MAXSZAS
+  bool quick = false;
+};
+
+/// Declares the shared options on `parser`. `default_laxity_base` lets a
+/// bench pick the workload reading that reproduces its paper claim
+/// (see DESIGN.md §3.9 and EXPERIMENTS.md).
+void add_common_options(ArgParser& parser,
+                        const std::string& default_laxity_base = "path");
+
+/// Reads the shared options into a BenchSetup. Returns std::nullopt when
+/// --help was requested.
+std::optional<BenchSetup> parse_common(ArgParser& parser, int argc,
+                                       const char* const* argv);
+
+/// Builds the optimal-configuration Params (BFn/LIFO/U-DBAS/LB1/EDF/BR=0)
+/// with the setup's resource bounds applied.
+Params base_params(const BenchSetup& setup);
+
+/// Convenience: a B&B variant row.
+AlgorithmVariant bnb_variant(std::string label, const Params& params);
+
+/// Convenience: the EDF reference row the paper includes in every plot.
+AlgorithmVariant edf_variant();
+
+/// Prints the standard preamble (bench id, workload, replication plan,
+/// expected shape) and runs + reports the experiment.
+void run_and_report(const std::string& bench_id,
+                    const std::string& expected_shape, const BenchSetup& setup,
+                    std::size_t ratio_reference = 0);
+
+}  // namespace parabb::bench

@@ -1,0 +1,63 @@
+// §6 complementary experiment: task-graph parallelism.
+//
+// Sweeps the graph width (tasks per level) at a fixed machine size and
+// compares LB0 vs LB1. Paper's claim: "when the parallelism in the task
+// graph increases, a lower-bound cost function that takes processor
+// contention into account will give even better performance" — i.e. the
+// LB0/LB1 vertex ratio grows with width.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parabb;
+  using namespace parabb::bench;
+
+  ArgParser parser("sec6_parallelism",
+                   "Reproduces §6: LB1's edge grows with graph parallelism");
+  add_common_options(parser);
+  // Width 4 at the default machine size explodes past any practical
+  // TIMELIMIT (nearly all runs excluded); sweep 1..3 by default.
+  parser.add_option("widths", "tasks-per-level values to sweep", "1,2,3");
+  parser.add_option("levels", "number of graph levels", "5");
+  auto setup = parse_common(parser, argc, argv);
+  if (!setup) return 0;
+
+  const auto widths = parser.get_int_list("widths");
+  const int levels = static_cast<int>(parser.get_int("levels"));
+
+  std::printf("# §6 — parallelism sweep (levels=%d, m=%d)\n", levels,
+              setup->cfg.machine_sizes.front());
+  std::printf("expected shape: LB0/LB1 searched-vertices ratio grows with "
+              "width\n\n");
+
+  Params lb1 = base_params(*setup);
+  Params lb0 = lb1;
+  lb0.lb = LowerBound::kLB0;
+
+  TextTable table;
+  table.set_header({"width", "n", "LB0 vertices", "LB1 vertices",
+                    "LB0/LB1", "LB1 lateness", "excl"});
+  for (const auto w : widths) {
+    ExperimentConfig cfg = setup->cfg;
+    cfg.workload = width_config(levels, static_cast<int>(w));
+    cfg.workload.ccr = setup->cfg.workload.ccr;
+    cfg.machine_sizes = {setup->cfg.machine_sizes.front()};
+    cfg.variants = {bnb_variant("LB0", lb0), bnb_variant("LB1", lb1)};
+    const ExperimentResult r = run_experiment(cfg);
+    const CellStats& c0 = r.cells[0][0];
+    const CellStats& c1 = r.cells[1][0];
+    const double ratio =
+        c1.vertices.mean() > 0 ? c0.vertices.mean() / c1.vertices.mean()
+                               : 1.0;
+    table.add_row({std::to_string(w),
+                   std::to_string(levels * static_cast<int>(w)),
+                   fmt_double(c0.vertices.mean(), 1),
+                   fmt_double(c1.vertices.mean(), 1),
+                   fmt_double(ratio, 2) + "x",
+                   fmt_double(c1.lateness.mean(), 2),
+                   std::to_string(c0.excluded + c1.excluded)});
+  }
+  emit("§6 parallelism — LB0 vs LB1 by graph width", table, setup->csv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §6 complementary experiment: the initial upper-bound solution cost U.
+//
+// Compares U seeded by greedy EDF, U set to an arbitrary positive constant
+// (the paper's strawman), and U = +inf. Paper's claim: the EDF-derived
+// bound improves B&B performance by more than 200 % (>= 2x fewer vertices)
+// over the positive-constant initialization.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parabb;
+  using namespace parabb::bench;
+
+  ArgParser parser("sec6_upperbound",
+                   "Reproduces §6: impact of the initial upper bound U");
+  add_common_options(parser);
+  parser.add_option("positive-ub",
+                    "the 'positive value' strawman initial cost", "1000");
+  auto setup = parse_common(parser, argc, argv);
+  if (!setup) return 0;
+
+  // The initial bound matters most for selection rules whose incumbent
+  // improves slowly. A sorted LIFO dive finds near-optimal goals within
+  // its first descent, so U barely moves its vertex count; LLB (oldest-
+  // first ties) exposes the paper's effect. Both are reported.
+  for (const SelectRule s : {SelectRule::kLIFO, SelectRule::kLLB}) {
+    Params edf_seeded = base_params(*setup);
+    edf_seeded.select = s;
+
+    Params positive = edf_seeded;
+    positive.ub = UpperBoundInit::kExplicit;
+    positive.explicit_ub = parser.get_int("positive-ub");
+
+    Params infinite = edf_seeded;
+    infinite.ub = UpperBoundInit::kInfinite;
+
+    const std::string tag = " [" + to_string(s) + "]";
+    setup->cfg.variants.push_back(bnb_variant("U = EDF" + tag, edf_seeded));
+    setup->cfg.variants.push_back(bnb_variant(
+        "U = +" + parser.get_string("positive-ub") + tag, positive));
+    setup->cfg.variants.push_back(bnb_variant("U = +inf" + tag, infinite));
+  }
+  setup->cfg.variants.push_back(edf_variant());
+
+  run_and_report(
+      "§6 — initial upper-bound solution cost",
+      "under LLB the EDF-seeded U searches >= 2x (paper: >200% "
+      "improvement) fewer vertices than a positive-constant U; under the "
+      "sorted LIFO dive the effect shrinks to the active-set footprint; "
+      "all configurations find the same optimum",
+      *setup, /*ratio_reference=*/0);
+  return 0;
+}

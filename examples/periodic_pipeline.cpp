@@ -1,0 +1,70 @@
+// Scheduling a periodic workload over one hyperperiod.
+//
+// The paper's task model is periodic <c, phi, d, T>; its experiments
+// schedule one frame. This example shows the general case: a 25 Hz
+// control pipeline and a 50 Hz safety monitor are unrolled over their
+// 40-time-unit hyperperiod (taskgraph/periodic.hpp), and the resulting
+// job DAG is scheduled optimally — invocation chaining and per-invocation
+// windows all fall out of the single-frame machinery.
+//
+//   $ ./periodic_pipeline [--procs 2]
+#include <cstdio>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/sched/edf.hpp"
+#include "parabb/sched/validator.hpp"
+#include "parabb/support/cli.hpp"
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/taskgraph/periodic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parabb;
+
+  ArgParser parser("periodic_pipeline",
+                   "Hyperperiod scheduling of a two-rate workload");
+  parser.add_option("procs", "processor count", "2");
+  if (!parser.parse(argc, argv)) return 0;
+
+  // Control pipeline at period 40 (25 Hz on a 1 ms = 1 unit clock):
+  // sample -> control -> actuate, each with a slice of the period.
+  // Safety monitor at period 20 (50 Hz): watch -> alarm.
+  const TaskGraph periodic =
+      GraphBuilder()
+          .task("sample", 6, /*d=*/10, /*phase=*/0, /*T=*/40)
+          .task("control", 14, 18, 10, 40)
+          .task("actuate", 6, 10, 29, 40)
+          .task("watch", 5, 9, 0, 20)
+          .task("alarm", 3, 8, 10, 20)
+          .arc("sample", "control", 4)
+          .arc("control", "actuate", 4)
+          .arc("watch", "alarm", 2)
+          .build();
+
+  const HyperperiodExpansion exp = expand_hyperperiod(periodic);
+  std::printf("hyperperiod %lld; %d periodic tasks -> %d jobs, %d arcs\n\n",
+              static_cast<long long>(exp.hyperperiod),
+              periodic.task_count(), exp.jobs.task_count(),
+              exp.jobs.arc_count());
+
+  const int procs = static_cast<int>(parser.get_int("procs"));
+  const Machine machine = make_shared_bus_machine(procs);
+  const SchedContext ctx(exp.jobs, machine);
+
+  const EdfResult edf = schedule_edf(ctx);
+  const SearchResult best = solve_bnb(ctx, Params{});
+  std::printf("EDF max job lateness: %+lld\n",
+              static_cast<long long>(edf.max_lateness));
+  std::printf("B&B max job lateness: %+lld (%s, %llu vertices)\n\n",
+              static_cast<long long>(best.best_cost),
+              best.proved ? "proved optimal" : "unproved",
+              static_cast<unsigned long long>(best.stats.generated));
+  std::printf("%s", to_gantt(best.best, exp.jobs, procs).c_str());
+
+  const ValidationReport rep =
+      validate_schedule(best.best, exp.jobs, machine);
+  std::printf("\nstructurally sound: %s; every invocation meets its "
+              "window: %s\n",
+              rep.structurally_sound ? "yes" : "no",
+              rep.deadlines_met ? "yes" : "no");
+  return rep.structurally_sound ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Runtime robustness of WCET plans.
+//
+// The scheduler plans with worst-case execution times; real executions
+// are shorter. This example plans a tight instance three ways (EDF,
+// EDF + local search, optimal B&B) and Monte-Carlo-simulates each plan
+// under a work-conserving dispatcher with actual execution times drawn
+// from [50 %, 100 %] of WCET. Planned lateness is a certified upper
+// envelope; the simulated distribution shows the pessimism margin.
+//
+//   $ ./robustness [--seed 3] [--procs 3] [--runs 200]
+#include <cstdio>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/deadline/slicing.hpp"
+#include "parabb/sched/edf.hpp"
+#include "parabb/sched/improve.hpp"
+#include "parabb/sim/simulate.hpp"
+#include "parabb/support/cli.hpp"
+#include "parabb/support/table.hpp"
+#include "parabb/workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parabb;
+
+  ArgParser parser("robustness", "Monte-Carlo simulation of WCET plans");
+  parser.add_option("seed", "workload seed", "3");
+  parser.add_option("procs", "processor count", "3");
+  parser.add_option("runs", "simulation runs per plan", "200");
+  parser.add_option("lo", "min actual/WCET fraction", "0.5");
+  parser.add_option("hi", "max actual/WCET fraction", "1.0");
+  if (!parser.parse(argc, argv)) return 0;
+
+  GeneratedGraph gen = generate_graph(
+      paper_config(), static_cast<std::uint64_t>(parser.get_int("seed")));
+  SlicingConfig tight;
+  tight.base = LaxityBase::kPathWork;
+  tight.laxity = 1.2;
+  assign_deadlines_slicing(gen.graph, tight);
+  const SchedContext ctx(
+      gen.graph,
+      make_shared_bus_machine(static_cast<int>(parser.get_int("procs"))));
+
+  SimulationConfig sim;
+  sim.runs = static_cast<int>(parser.get_int("runs"));
+  sim.lo_fraction = parser.get_double("lo");
+  sim.hi_fraction = parser.get_double("hi");
+  sim.seed = static_cast<std::uint64_t>(parser.get_int("seed")) + 1;
+
+  std::printf("instance: %d tasks on %d processors; actual exec ~ U[%.0f%%,"
+              " %.0f%%] of WCET, %d runs per plan\n\n",
+              ctx.task_count(), ctx.proc_count(), sim.lo_fraction * 100,
+              sim.hi_fraction * 100, sim.runs);
+
+  const EdfResult edf = schedule_edf(ctx);
+  const ImproveResult imp = improve_schedule(ctx, edf.schedule);
+  Params p;
+  p.rb.time_limit_s = 10.0;
+  const SearchResult opt = solve_bnb(ctx, p);
+
+  struct Plan {
+    const char* label;
+    const Schedule* schedule;
+  };
+  const Plan plans[] = {
+      {"EDF", &edf.schedule},
+      {"EDF+improve", &imp.schedule},
+      {opt.proved ? "optimal (proved)" : "B&B best", &opt.best},
+  };
+
+  TextTable table;
+  table.set_header({"plan", "planned L", "sim mean", "sim min", "sim max",
+                    "misses", "mean makespan"});
+  for (const Plan& plan : plans) {
+    const SimulationReport rep = simulate_schedule(ctx, *plan.schedule, sim);
+    table.add_row({plan.label,
+                   std::to_string(rep.planned_lateness),
+                   fmt_double(rep.lateness.mean(), 2),
+                   fmt_double(rep.lateness.min(), 0),
+                   fmt_double(rep.lateness.max(), 0),
+                   std::to_string(rep.deadline_miss_runs) + "/" +
+                       std::to_string(sim.runs),
+                   fmt_double(rep.makespan.mean(), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nReading: simulated lateness never exceeds the planned "
+              "value (WCET is an upper envelope); better plans keep their "
+              "advantage at run time.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "parabb/bnb/active_set.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+ActiveSet::ActiveSet(SelectRule rule, std::function<void(SlotRef)> release,
+                     bool llb_tie_newest)
+    : rule_(rule),
+      release_(std::move(release)),
+      llb_tie_newest_(llb_tie_newest) {
+  PARABB_REQUIRE(static_cast<bool>(release_), "release callback required");
+}
+
+// std::push_heap builds a max-heap w.r.t. the comparator; we want the
+// *least* lower bound on top. Among equal bounds the configured policy
+// decides: oldest-first (default, textbook LLB) or newest-first (which
+// turns plateau traversal into a LIFO dive).
+bool ActiveSet::heap_less(const VertexEntry& a,
+                          const VertexEntry& b) const noexcept {
+  if (a.lb != b.lb) return a.lb > b.lb;
+  return llb_tie_newest_ ? a.seq < b.seq : a.seq > b.seq;
+}
+
+void ActiveSet::push(const VertexEntry& e) {
+  entries_.push_back(e);
+  if (rule_ == SelectRule::kLLB) {
+    std::push_heap(entries_.begin(), entries_.end(),
+                   [this](const VertexEntry& a, const VertexEntry& b) {
+                     return heap_less(a, b);
+                   });
+  }
+}
+
+VertexEntry ActiveSet::pop() {
+  PARABB_ASSERT(!entries_.empty());
+  switch (rule_) {
+    case SelectRule::kLIFO: {
+      const VertexEntry e = entries_.back();
+      entries_.pop_back();
+      return e;
+    }
+    case SelectRule::kFIFO: {
+      const VertexEntry e = entries_.front();
+      entries_.pop_front();
+      return e;
+    }
+    case SelectRule::kLLB: {
+      std::pop_heap(entries_.begin(), entries_.end(),
+                    [this](const VertexEntry& a, const VertexEntry& b) {
+                      return heap_less(a, b);
+                    });
+      const VertexEntry e = entries_.back();
+      entries_.pop_back();
+      return e;
+    }
+  }
+  PARABB_ASSERT(false);
+  return {};
+}
+
+const VertexEntry& ActiveSet::peek() const {
+  PARABB_ASSERT(!entries_.empty());
+  switch (rule_) {
+    case SelectRule::kLIFO: return entries_.back();
+    case SelectRule::kFIFO: return entries_.front();
+    case SelectRule::kLLB: return entries_.front();  // heap root
+  }
+  PARABB_ASSERT(false);
+  return entries_.front();
+}
+
+Time ActiveSet::min_lb() const {
+  PARABB_ASSERT(!entries_.empty());
+  if (rule_ == SelectRule::kLLB) return entries_.front().lb;
+  Time lo = entries_.front().lb;
+  for (const VertexEntry& e : entries_) lo = std::min(lo, e.lb);
+  return lo;
+}
+
+std::size_t ActiveSet::prune_worse(Time threshold) {
+  std::size_t pruned = 0;
+  const auto keep_end = std::remove_if(
+      entries_.begin(), entries_.end(), [&](const VertexEntry& e) {
+        if (e.lb < threshold) return false;
+        release_(e.ref);
+        ++pruned;
+        return true;
+      });
+  entries_.erase(keep_end, entries_.end());
+  if (rule_ == SelectRule::kLLB && pruned > 0) {
+    std::make_heap(entries_.begin(), entries_.end(),
+                   [this](const VertexEntry& a, const VertexEntry& b) {
+                     return heap_less(a, b);
+                   });
+  }
+  return pruned;
+}
+
+std::size_t ActiveSet::dispose_worst(std::size_t count) {
+  if (count == 0 || entries_.empty()) return 0;
+  count = std::min(count, entries_.size());
+
+  // Find the bound cutoff of the count-th worst entry.
+  std::vector<Time> lbs;
+  lbs.reserve(entries_.size());
+  for (const VertexEntry& e : entries_) lbs.push_back(e.lb);
+  std::nth_element(lbs.begin(), lbs.begin() + static_cast<std::ptrdiff_t>(
+                                     count - 1),
+                   lbs.end(), std::greater<>());
+  const Time cutoff = lbs[count - 1];
+
+  // Drop everything strictly above the cutoff, then enough ties
+  // (oldest-first, i.e. in container order) to reach `count`.
+  std::size_t strictly_above = 0;
+  for (const VertexEntry& e : entries_)
+    if (e.lb > cutoff) ++strictly_above;
+  std::size_t ties_to_drop = count - strictly_above;
+
+  std::size_t disposed = 0;
+  const auto keep_end = std::remove_if(
+      entries_.begin(), entries_.end(), [&](const VertexEntry& e) {
+        const bool drop =
+            e.lb > cutoff || (e.lb == cutoff && ties_to_drop > 0);
+        if (!drop) return false;
+        if (e.lb == cutoff) --ties_to_drop;
+        release_(e.ref);
+        ++disposed;
+        return true;
+      });
+  entries_.erase(keep_end, entries_.end());
+  if (rule_ == SelectRule::kLLB && disposed > 0) {
+    std::make_heap(entries_.begin(), entries_.end(),
+                   [this](const VertexEntry& a, const VertexEntry& b) {
+                     return heap_less(a, b);
+                   });
+  }
+  return disposed;
+}
+
+}  // namespace parabb

@@ -1,0 +1,69 @@
+// The active set AS and the three vertex selection rules S (paper §3.2).
+//
+//  * LIFO — stack (newest first): depth-first dives that reach goal
+//    vertices quickly and keep the set small; pop order matches the pool's
+//    allocation locality (the §6 paging observation).
+//  * FIFO — queue (oldest first): breadth-first; kept for completeness.
+//  * LLB  — binary min-heap on the lower bound. Tie-breaking among equal
+//    bounds is configurable and matters enormously in practice: integer
+//    lateness costs make large plateaus of equal-bound vertices, and
+//    oldest-first ties (the natural "textbook" heap behaviour) wander
+//    those plateaus breadth-first, while newest-first ties degenerate LLB
+//    into a LIFO dive (see bench/ablation_llbtie).
+//
+// U/DBAS elimination is *eager*: prune_worse() walks the container,
+// releases every vertex whose bound can no longer beat the incumbent, and
+// compacts storage — so size() is an exact measure of AS memory (MAXSZAS).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "parabb/bnb/params.hpp"
+#include "parabb/bnb/vertex.hpp"
+
+namespace parabb {
+
+class ActiveSet {
+ public:
+  /// `release` is invoked for every entry removed by prune_worse /
+  /// dispose_worst (it should free the pool slot). `llb_tie_newest`
+  /// selects the LLB tie-breaking policy (ignored by LIFO/FIFO).
+  ActiveSet(SelectRule rule, std::function<void(SlotRef)> release,
+            bool llb_tie_newest = false);
+
+  void push(const VertexEntry& e);
+
+  /// Selects and removes the next vertex per the selection rule.
+  /// Precondition: !empty().
+  VertexEntry pop();
+
+  /// Peeks the entry pop() would return (LLB stop-condition check).
+  const VertexEntry& peek() const;
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Least lower bound among all entries (O(1) for LLB, O(n) otherwise).
+  /// Precondition: !empty(). Used for optimality-gap certificates.
+  Time min_lb() const;
+
+  /// E_U/DBAS applied to AS: removes every entry with lb >= threshold.
+  /// Returns the number pruned.
+  std::size_t prune_worse(Time threshold);
+
+  /// RB.MAXSZAS overflow handling: disposes the `count` entries with the
+  /// largest bounds (ties resolved oldest-first). Returns the number
+  /// disposed (== count unless the set is smaller).
+  std::size_t dispose_worst(std::size_t count);
+
+ private:
+  bool heap_less(const VertexEntry& a, const VertexEntry& b) const noexcept;
+
+  SelectRule rule_;
+  std::function<void(SlotRef)> release_;
+  bool llb_tie_newest_;
+  std::deque<VertexEntry> entries_;
+};
+
+}  // namespace parabb

@@ -1,0 +1,48 @@
+#include "parabb/bnb/brute_force.hpp"
+
+#include "parabb/bnb/lower_bound.hpp"
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+struct Searcher {
+  const SchedContext& ctx;
+  std::uint64_t max_leaves;
+  BruteForceResult out;
+  PartialSchedule best_state;
+
+  void visit(const PartialSchedule& ps) {
+    if (ps.complete(ctx)) {
+      ++out.leaves;
+      PARABB_REQUIRE(out.leaves <= max_leaves,
+                     "brute force exceeded the leaf budget");
+      const Time cost = ps.max_lateness_scheduled(ctx);
+      if (cost < out.best_cost) {
+        out.best_cost = cost;
+        best_state = ps;
+      }
+      return;
+    }
+    for (const TaskId t : ps.ready()) {
+      for (ProcId p = 0; p < ctx.proc_count(); ++p) {
+        PartialSchedule child = ps;
+        child.place(ctx, t, p);
+        visit(child);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+BruteForceResult brute_force(const SchedContext& ctx,
+                             std::uint64_t max_leaves) {
+  Searcher s{ctx, max_leaves, {}, {}};
+  s.visit(PartialSchedule::empty(ctx));
+  PARABB_ASSERT(s.out.leaves > 0);
+  s.out.best = Schedule::from_partial(ctx, s.best_state);
+  return s.out;
+}
+
+}  // namespace parabb

@@ -1,0 +1,27 @@
+// Exhaustive reference search (testing oracle).
+//
+// Enumerates *every* permutation of (ready task × processor) decisions —
+// exactly the goal-vertex space the BFn branching rule spans — with no
+// bounding at all, and returns the true optimal maximum lateness. Only
+// usable for tiny instances (|goals| <= k^n m^n); the B&B optimality tests
+// compare against this.
+#pragma once
+
+#include <cstdint>
+
+#include "parabb/sched/schedule.hpp"
+
+namespace parabb {
+
+struct BruteForceResult {
+  Time best_cost = kTimeInf;
+  Schedule best;
+  std::uint64_t leaves = 0;  ///< complete schedules enumerated
+};
+
+/// Exhaustively searches `ctx`. `max_leaves` guards against accidental
+/// explosion (throws precondition_error when exceeded).
+BruteForceResult brute_force(const SchedContext& ctx,
+                             std::uint64_t max_leaves = 50'000'000);
+
+}  // namespace parabb

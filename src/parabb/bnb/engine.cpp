@@ -1,0 +1,344 @@
+#include "parabb/bnb/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "parabb/bnb/active_set.hpp"
+#include "parabb/bnb/lower_bound.hpp"
+#include "parabb/bnb/trace.hpp"
+#include "parabb/bnb/vertex.hpp"
+#include "parabb/sched/edf.hpp"
+#include "parabb/support/assert.hpp"
+#include "parabb/support/inline_vector.hpp"
+#include "parabb/support/pool.hpp"
+#include "parabb/support/timer.hpp"
+
+namespace parabb {
+
+Time prune_threshold(Time incumbent, double br) {
+  if (incumbent >= kTimeInf) return kTimeInf;
+  if (br <= 0.0) return incumbent;
+  const auto margin = static_cast<Time>(
+      std::floor(br * std::abs(static_cast<double>(incumbent))));
+  return incumbent - margin;
+}
+
+namespace {
+
+/// A child staged for insertion: generated, bounded, not yet pooled.
+struct StagedChild {
+  PartialSchedule state;
+  Time lb = 0;
+  int order = 0;  ///< generation index, for deterministic tie-breaking
+};
+
+/// Tasks the branching rule B expands from `ready` (§3.3).
+InlineVector<TaskId, kMaxTasks> branch_tasks(const SchedContext& ctx,
+                                             BranchRule rule, TaskSet ready) {
+  InlineVector<TaskId, kMaxTasks> out;
+  PARABB_ASSERT(!ready.empty());
+  switch (rule) {
+    case BranchRule::kBFn:
+      for (const TaskId t : ready) out.push_back(t);
+      break;
+    case BranchRule::kBF1:
+      for (const TaskId t : ctx.level_order()) {
+        if (ready.contains(t)) {
+          out.push_back(t);
+          break;
+        }
+      }
+      break;
+    case BranchRule::kDF:
+      for (const TaskId t : ctx.dfs_order()) {
+        if (ready.contains(t)) {
+          out.push_back(t);
+          break;
+        }
+      }
+      break;
+  }
+  PARABB_ASSERT(!out.empty());
+  return out;
+}
+
+}  // namespace
+
+SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
+  PARABB_REQUIRE(params.br >= 0.0, "BR must be >= 0");
+  PARABB_REQUIRE(params.rb.max_children >= 1, "MAXSZDB must be >= 1");
+  PARABB_REQUIRE(params.rb.max_active >= 1, "MAXSZAS must be >= 1");
+
+  Stopwatch watch;
+  SearchResult result;
+  SearchStats& stats = result.stats;
+
+  // --- Step 1-2: initialize with the upper-bound solution cost U. ---
+  Time incumbent = kTimeInf;
+  switch (params.ub) {
+    case UpperBoundInit::kInfinite:
+      break;
+    case UpperBoundInit::kFromEDF: {
+      const EdfResult edf = schedule_edf(ctx);
+      incumbent = edf.max_lateness;
+      result.best = edf.schedule;
+      result.found_solution = true;
+      break;
+    }
+    case UpperBoundInit::kExplicit:
+      incumbent = params.explicit_ub;
+      break;
+  }
+
+  SlotPool pool(sizeof(Vertex), 8192);
+  auto release = [&pool](SlotRef ref) { pool.release(ref); };
+  ActiveSet as(params.select, release, params.llb_tie_newest);
+
+  std::uint32_t next_seq = 0;
+  auto push_vertex = [&](const PartialSchedule& state, Time lb) {
+    const SlotRef ref = pool.allocate();
+    auto* v = static_cast<Vertex*>(pool.get(ref));
+    v->state = state;
+    v->lb = lb;
+    v->seq = next_seq;
+    as.push(VertexEntry{lb, next_seq, ref});
+    ++next_seq;
+    ++stats.activated;
+  };
+
+  // Root vertex: the empty schedule.
+  {
+    const PartialSchedule root = PartialSchedule::empty(ctx);
+    push_vertex(root, lower_bound_cost(ctx, root, params.lb));
+    stats.activated = 0;  // the root does not count as an activated child
+  }
+
+  bool compromised = false;  // an RB storage bound forced vertex disposal
+  // Least bound of any vertex lost to a storage bound; with the monotone
+  // bounds of this problem, every pruned subtree's cost is >= its root's
+  // bound, so this floors the optimality-gap certificate.
+  Time compromise_floor = kTimeInf;
+  std::vector<StagedChild> staged;
+  staged.reserve(static_cast<std::size_t>(ctx.task_count()) *
+                 static_cast<std::size_t>(ctx.proc_count()));
+
+  std::uint64_t iter = 0;
+  result.reason = TerminationReason::kExhausted;
+
+  // --- Step 3-10: main loop. ---
+  while (!as.empty()) {
+    if ((++iter & 0xFFu) == 0 &&
+        watch.seconds() > params.rb.time_limit_s) {
+      result.reason = TerminationReason::kTimeLimit;
+      break;
+    }
+
+    const Time threshold = prune_threshold(incumbent, params.br);
+
+    // Step 4-5: select vertex v_b; apply the rule's stop condition. The
+    // bound test doubles as deferred U/DBAS for vertices that became
+    // hopeless after they were pushed.
+    if (params.elim == ElimRule::kUDBAS || params.select == SelectRule::kLLB) {
+      if (as.peek().lb >= threshold) {
+        if (params.select == SelectRule::kLLB) {
+          // Least bound already >= incumbent: nothing can improve.
+          result.reason = TerminationReason::kBoundStop;
+          break;
+        }
+        if (params.elim == ElimRule::kUDBAS) {
+          const VertexEntry e = as.pop();
+          pool.release(e.ref);
+          ++stats.pruned_active;
+          continue;
+        }
+      }
+    }
+
+    const VertexEntry entry = as.pop();
+    const PartialSchedule parent =
+        static_cast<const Vertex*>(pool.get(entry.ref))->state;
+    pool.release(entry.ref);
+    ++stats.expanded;
+    if (params.trace) {
+      params.trace->record(TraceEvent::kExpand, parent.count(), entry.lb);
+    }
+
+    // Step 6-7: branch (rule B) and bound (function L).
+    staged.clear();
+    const auto tasks = branch_tasks(ctx, params.branch, parent.ready());
+    Time best_goal = kTimeInf;
+    PartialSchedule best_goal_state;
+    bool have_goal = false;
+    int children = 0;
+    for (const TaskId t : tasks) {
+      for (ProcId p = 0; p < ctx.proc_count(); ++p) {
+        if (children >= params.rb.max_children) {
+          compromised = true;  // MAXSZDB truncated the child set
+          compromise_floor = std::min(compromise_floor, entry.lb);
+          break;
+        }
+        ++children;
+        ++stats.generated;
+        StagedChild child;
+        child.state = parent;
+        child.state.place(ctx, t, p);
+        child.lb = lower_bound_cost(ctx, child.state, params.lb);
+        child.order = children;
+
+        if (child.state.complete(ctx)) {
+          // Goal vertex: candidate new upper-bound solution (Figure 2).
+          ++stats.goals;
+          if (params.trace) {
+            params.trace->record(TraceEvent::kGoal, child.state.count(),
+                                 child.lb);
+          }
+          if (child.lb < best_goal) {
+            best_goal = child.lb;
+            best_goal_state = child.state;
+            have_goal = true;
+          }
+          continue;
+        }
+        if (params.characteristic &&
+            !params.characteristic(ctx, child.state)) {
+          ++stats.pruned_children;  // F: cannot extend to a valid solution
+          if (params.trace) {
+            params.trace->record(TraceEvent::kPruneChild,
+                                 child.state.count(), child.lb);
+          }
+          continue;
+        }
+        if (params.elim == ElimRule::kUDBAS && child.lb >= threshold) {
+          ++stats.pruned_children;  // E applied to DB
+          if (params.trace) {
+            params.trace->record(TraceEvent::kPruneChild,
+                                 child.state.count(), child.lb);
+          }
+          continue;
+        }
+        staged.push_back(child);
+      }
+      if (children >= params.rb.max_children) break;
+    }
+
+    // Incumbent update from the cheapest goal in DB (goal vertices never
+    // enter the active set).
+    bool improved = false;
+    if (have_goal && best_goal < incumbent) {
+      incumbent = best_goal;
+      result.best = Schedule::from_partial(ctx, best_goal_state);
+      result.found_solution = true;
+      ++stats.goal_updates;
+      improved = true;
+      if (params.trace) {
+        params.trace->record(TraceEvent::kIncumbent, ctx.task_count(),
+                             incumbent);
+      }
+    }
+
+    // D: optional pairwise dominance filter among siblings.
+    if (params.dominance && staged.size() > 1) {
+      std::vector<char> dead(staged.size(), 0);
+      for (std::size_t i = 0; i < staged.size(); ++i) {
+        if (dead[i]) continue;
+        for (std::size_t j = 0; j < staged.size(); ++j) {
+          if (i == j || dead[j]) continue;
+          if (params.dominance(ctx, staged[i].state, staged[j].state))
+            dead[j] = 1;
+        }
+      }
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < staged.size(); ++i) {
+        if (!dead[i]) {
+          staged[w++] = staged[i];
+        } else {
+          ++stats.pruned_children;
+          if (params.trace) {
+            params.trace->record(TraceEvent::kPruneChild,
+                                 staged[i].state.count(), staged[i].lb);
+          }
+        }
+      }
+      staged.resize(w);
+    }
+
+    // Step 8 applied to AS: a better incumbent invalidates queued vertices.
+    if (improved && params.elim == ElimRule::kUDBAS) {
+      const std::size_t removed =
+          as.prune_worse(prune_threshold(incumbent, params.br));
+      stats.pruned_active += removed;
+      if (params.trace && removed > 0) {
+        params.trace->record(TraceEvent::kPruneActive, -1,
+                             static_cast<Time>(removed));
+      }
+      // Staged children were bounded against the stale threshold.
+      const Time fresh = prune_threshold(incumbent, params.br);
+      std::erase_if(staged, [&](const StagedChild& c) {
+        if (c.lb < fresh) return false;
+        ++stats.pruned_children;
+        if (params.trace) {
+          params.trace->record(TraceEvent::kPruneChild, c.state.count(),
+                               c.lb);
+        }
+        return true;
+      });
+    }
+
+    // Step 9: move surviving children into AS, most promising popped first
+    // for the stack/queue disciplines.
+    if (params.sort_children && params.select != SelectRule::kLLB) {
+      std::sort(staged.begin(), staged.end(),
+                [](const StagedChild& a, const StagedChild& b) {
+                  if (a.lb != b.lb) return a.lb > b.lb;
+                  return a.order > b.order;
+                });
+    }
+    for (const StagedChild& c : staged) {
+      push_vertex(c.state, c.lb);
+      if (params.trace) {
+        params.trace->record(TraceEvent::kActivate, c.state.count(), c.lb);
+      }
+    }
+
+    // RB.MAXSZAS: dispose of the worst active vertices when over budget.
+    // Drop an extra 25% of the budget so the O(|AS|) disposal scan is
+    // amortized instead of firing on every subsequent expansion.
+    if (as.size() > params.rb.max_active) {
+      const std::size_t excess = as.size() - params.rb.max_active +
+                                 params.rb.max_active / 4;
+      compromise_floor = std::min(compromise_floor, as.min_lb());
+      const std::size_t dropped =
+          as.dispose_worst(std::min(excess, as.size() - 1));
+      stats.disposed += dropped;
+      compromised = true;
+      if (params.trace) {
+        params.trace->record(TraceEvent::kDispose, -1,
+                             static_cast<Time>(dropped));
+      }
+    }
+
+    stats.peak_active = std::max(stats.peak_active, as.size());
+    stats.peak_memory_bytes =
+        std::max(stats.peak_memory_bytes, pool.memory_bytes());
+  }
+
+  result.best_cost = incumbent;
+  result.proved = result.found_solution && !compromised &&
+                  result.reason != TerminationReason::kTimeLimit &&
+                  params.branch == BranchRule::kBFn;
+
+  // Optimality-gap certificate (see SearchResult::certified_lower_bound).
+  // F may prune vertices whose completions are cheap-but-invalid, so a
+  // characteristic function voids the certificate.
+  if (params.branch == BranchRule::kBFn && !params.characteristic) {
+    Time floor = prune_threshold(incumbent, params.br);
+    if (!as.empty()) floor = std::min(floor, as.min_lb());
+    floor = std::min(floor, compromise_floor);
+    result.certified_lower_bound = std::min(floor, incumbent);
+  }
+  stats.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace parabb

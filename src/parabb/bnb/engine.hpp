@@ -1,0 +1,67 @@
+// The parametrized branch-and-bound engine (paper §3, Figure 1).
+//
+// Faithful to the published pseudo-code with the paper's own refinement:
+// goal vertices are never inserted into the active set — a goal either
+// improves the incumbent (upper-bound solution) or is pruned on the spot.
+#pragma once
+
+#include <cstdint>
+
+#include "parabb/bnb/params.hpp"
+#include "parabb/sched/schedule.hpp"
+
+namespace parabb {
+
+enum class TerminationReason : std::uint8_t {
+  kExhausted,   ///< active set ran empty
+  kBoundStop,   ///< S_LLB stop condition: selected bound >= incumbent
+  kTimeLimit,   ///< RB.TIMELIMIT exceeded; best-so-far returned
+};
+
+struct SearchStats {
+  std::uint64_t expanded = 0;        ///< vertices selected and branched
+  std::uint64_t generated = 0;       ///< child vertices cost-evaluated
+  std::uint64_t activated = 0;       ///< children inserted into AS
+  std::uint64_t goals = 0;           ///< complete solutions encountered
+  std::uint64_t goal_updates = 0;    ///< incumbent improvements
+  std::uint64_t pruned_children = 0; ///< children discarded before insertion
+  std::uint64_t pruned_active = 0;   ///< AS entries removed by E_U/DBAS
+  std::uint64_t disposed = 0;        ///< AS entries dropped by RB.MAXSZAS
+  std::size_t peak_active = 0;       ///< max |AS| observed
+  std::size_t peak_memory_bytes = 0; ///< max vertex-pool footprint
+  double seconds = 0.0;              ///< wall time of the search
+};
+
+struct SearchResult {
+  /// True when `best` holds an actual schedule (always true with
+  /// U = kFromEDF; with other initializations the search may fail).
+  bool found_solution = false;
+  Schedule best;
+  Time best_cost = kTimeInf;
+
+  /// True when the result carries the full guarantee: cost within BR of
+  /// optimal. Requires the complete branching rule (BFn), no resource-bound
+  /// compromise, and a normally terminated search.
+  bool proved = false;
+
+  /// A certified lower bound on the optimal cost: no schedule can beat
+  /// this value. Equals `best_cost` when the search proved optimality;
+  /// after a TIMELIMIT or disposal-compromised run it is the least bound
+  /// among the abandoned active vertices, so `best_cost -
+  /// certified_lower_bound` is a sound optimality gap. Only meaningful
+  /// with the complete branching rule (BFn); kTimeNegInf otherwise.
+  Time certified_lower_bound = kTimeNegInf;
+
+  TerminationReason reason = TerminationReason::kExhausted;
+  SearchStats stats;
+};
+
+/// Runs the B&B algorithm of Figure 1 on `ctx` with parameters `params`.
+SearchResult solve_bnb(const SchedContext& ctx, const Params& params);
+
+/// The bound below which a vertex must stay to survive E_U/DBAS given the
+/// incumbent cost and the BR inaccuracy limit: vertices with
+/// lb >= incumbent - floor(br*|incumbent|) are pruned. Exposed for tests.
+Time prune_threshold(Time incumbent, double br);
+
+}  // namespace parabb

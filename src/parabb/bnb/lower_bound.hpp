@@ -1,0 +1,44 @@
+// Lower-bound cost functions L (paper §3.5).
+//
+// Each returns a provable lower bound L̂ on the maximum task lateness of any
+// complete schedule reachable from the given partial schedule under the
+// scheduling operation of §4.3:
+//
+//  * LB0 — recursive estimated finish times driven only by arrival times and
+//    predecessor estimates (communication costs are optimistically zero,
+//    which keeps the bound admissible since co-located tasks pay none):
+//        f̂_i = f_i                                    if scheduled
+//        f̂_i = max(a_i + c_i,
+//                   max_{j ≺· i} (max(f̂_j, a_i) + c_i)) otherwise
+//
+//  * LB1 — LB0 with the adaptive processor-contention term l_min, the
+//    earliest time any processor becomes free; no unscheduled task can
+//    start before it under the append-only operation:
+//        f̂_i = max(max(a_i, l_min) + c_i,
+//                   max_{j ≺· i} (max(f̂_j, a_i, l_min) + c_i))
+//
+//  * LB2 (extension) — max(LB1, workload packing bound): for each absolute
+//    deadline D, the unscheduled work W_D with deadlines <= D cannot finish
+//    before ceil((Σ_q avail_q + W_D)/m), so some task is at least that far
+//    past D.
+//
+// In all cases  L̂ = max_i (f̂_i − D_i).  On a complete schedule every f̂
+// equals the real finish time, so L̂ is the exact cost of a goal vertex.
+#pragma once
+
+#include "parabb/bnb/params.hpp"
+#include "parabb/sched/context.hpp"
+#include "parabb/sched/partial_schedule.hpp"
+
+namespace parabb {
+
+/// Evaluates lower bound `kind` for `ps`. O(n + e) for LB0/LB1;
+/// O(n log n + e) for LB2.
+Time lower_bound_cost(const SchedContext& ctx, const PartialSchedule& ps,
+                      LowerBound kind);
+
+/// The exact maximum lateness of a complete schedule (all f̂ = f).
+/// Convenience wrapper asserting completeness.
+Time exact_cost(const SchedContext& ctx, const PartialSchedule& ps);
+
+}  // namespace parabb

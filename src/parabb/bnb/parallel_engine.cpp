@@ -1,0 +1,310 @@
+#include "parabb/bnb/parallel_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parabb/bnb/lower_bound.hpp"
+#include "parabb/sched/edf.hpp"
+#include "parabb/support/assert.hpp"
+#include "parabb/support/inline_vector.hpp"
+#include "parabb/support/timer.hpp"
+
+namespace parabb {
+namespace {
+
+struct WorkItem {
+  PartialSchedule state;
+  Time lb = 0;
+};
+
+/// Shared search state. The incumbent cost is mirrored in an atomic so the
+/// per-vertex bound test never takes a lock.
+struct Shared {
+  const SchedContext& ctx;
+  const Params& params;
+  int total_threads = 1;
+
+  std::atomic<Time> incumbent{kTimeInf};
+  std::mutex best_mutex;
+  PartialSchedule best_state;
+  bool found = false;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<WorkItem> queue;
+  std::atomic<std::size_t> queue_hint{0};  ///< approximate queue size
+  int idle = 0;       ///< workers currently without work (under queue_mutex)
+  bool done = false;  ///< search finished (under queue_mutex)
+
+  std::atomic<bool> stop{false};  ///< time limit tripped
+
+  Shared(const SchedContext& c, const Params& p) : ctx(c), params(p) {}
+
+  Time threshold() const {
+    return prune_threshold(incumbent.load(std::memory_order_relaxed),
+                           params.br);
+  }
+
+  void offer_goal(const PartialSchedule& state, Time cost,
+                  SearchStats& stats) {
+    if (cost >= incumbent.load(std::memory_order_relaxed)) return;
+    const std::lock_guard lock(best_mutex);
+    if (cost >= incumbent.load(std::memory_order_relaxed)) return;
+    incumbent.store(cost, std::memory_order_relaxed);
+    best_state = state;
+    found = true;
+    ++stats.goal_updates;
+  }
+};
+
+InlineVector<TaskId, kMaxTasks> branch_tasks(const SchedContext& ctx,
+                                             BranchRule rule, TaskSet ready) {
+  InlineVector<TaskId, kMaxTasks> out;
+  switch (rule) {
+    case BranchRule::kBFn:
+      for (const TaskId t : ready) out.push_back(t);
+      break;
+    case BranchRule::kBF1:
+      for (const TaskId t : ctx.level_order())
+        if (ready.contains(t)) {
+          out.push_back(t);
+          break;
+        }
+      break;
+    case BranchRule::kDF:
+      for (const TaskId t : ctx.dfs_order())
+        if (ready.contains(t)) {
+          out.push_back(t);
+          break;
+        }
+      break;
+  }
+  return out;
+}
+
+/// Expands one vertex; goals update the incumbent, surviving children are
+/// appended to `out` worst-bound-first (pop-back then explores best-first).
+void expand(Shared& sh, const WorkItem& item, std::vector<WorkItem>& out,
+            SearchStats& stats) {
+  ++stats.expanded;
+  const Time threshold = sh.threshold();
+  const std::size_t base = out.size();
+  for (const TaskId t :
+       branch_tasks(sh.ctx, sh.params.branch, item.state.ready())) {
+    for (ProcId p = 0; p < sh.ctx.proc_count(); ++p) {
+      ++stats.generated;
+      WorkItem child;
+      child.state = item.state;
+      child.state.place(sh.ctx, t, p);
+      child.lb = lower_bound_cost(sh.ctx, child.state, sh.params.lb);
+      if (child.state.complete(sh.ctx)) {
+        ++stats.goals;
+        sh.offer_goal(child.state, child.lb, stats);
+        continue;
+      }
+      if (sh.params.characteristic &&
+          !sh.params.characteristic(sh.ctx, child.state)) {
+        ++stats.pruned_children;
+        continue;
+      }
+      if (sh.params.elim == ElimRule::kUDBAS && child.lb >= threshold) {
+        ++stats.pruned_children;
+        continue;
+      }
+      out.push_back(std::move(child));
+      ++stats.activated;
+    }
+  }
+  if (sh.params.sort_children) {
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+              [](const WorkItem& a, const WorkItem& b) { return a.lb > b.lb; });
+  }
+}
+
+/// Worker protocol: `idle` counts workers not holding work. The last worker
+/// to go idle with an empty queue declares the search done.
+void worker_loop(Shared& sh, SearchStats& stats) {
+  std::vector<WorkItem> local;
+  for (;;) {
+    {
+      std::unique_lock lock(sh.queue_mutex);
+      ++sh.idle;
+      if ((sh.idle == sh.total_threads && sh.queue.empty()) ||
+          sh.stop.load()) {
+        sh.done = true;
+        sh.queue_cv.notify_all();
+        return;
+      }
+      sh.queue_cv.wait(lock, [&] {
+        return sh.done || sh.stop.load() || !sh.queue.empty();
+      });
+      if (sh.done || sh.stop.load()) {
+        sh.done = true;
+        sh.queue_cv.notify_all();
+        return;
+      }
+      --sh.idle;
+      local.push_back(std::move(sh.queue.front()));
+      sh.queue.pop_front();
+      sh.queue_hint.store(sh.queue.size(), std::memory_order_relaxed);
+    }
+
+    // Depth-first dive on the private stack.
+    while (!local.empty()) {
+      if (sh.stop.load(std::memory_order_relaxed)) {
+        local.clear();
+        break;
+      }
+      const WorkItem item = std::move(local.back());
+      local.pop_back();
+      if (sh.params.elim == ElimRule::kUDBAS && item.lb >= sh.threshold()) {
+        ++stats.pruned_active;
+        continue;
+      }
+      expand(sh, item, local, stats);
+      stats.peak_active = std::max(stats.peak_active, local.size());
+
+      // Donate the shallowest half when the queue is dry and peers starve.
+      if (local.size() >= 2 &&
+          sh.queue_hint.load(std::memory_order_relaxed) == 0) {
+        std::unique_lock lock(sh.queue_mutex, std::try_to_lock);
+        if (lock.owns_lock() && sh.queue.empty() && sh.idle > 0) {
+          const std::size_t donate = local.size() / 2;
+          for (std::size_t i = 0; i < donate; ++i)
+            sh.queue.push_back(std::move(local[i]));
+          local.erase(local.begin(),
+                      local.begin() + static_cast<std::ptrdiff_t>(donate));
+          sh.queue_hint.store(sh.queue.size(), std::memory_order_relaxed);
+          sh.queue_cv.notify_all();
+        }
+      }
+    }
+  }
+}
+
+void merge_stats(SearchStats& into, const SearchStats& s) {
+  into.expanded += s.expanded;
+  into.generated += s.generated;
+  into.activated += s.activated;
+  into.goals += s.goals;
+  into.goal_updates += s.goal_updates;
+  into.pruned_children += s.pruned_children;
+  into.pruned_active += s.pruned_active;
+  into.peak_active += s.peak_active;  // approximate: sum of worker peaks
+}
+
+}  // namespace
+
+ParallelResult solve_bnb_parallel(const SchedContext& ctx,
+                                  const ParallelParams& pp) {
+  Stopwatch watch;
+  ParallelResult result;
+
+  int threads = pp.threads;
+  if (threads <= 0) {
+    threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  result.threads_used = threads;
+
+  Shared sh(ctx, pp.base);
+  sh.total_threads = threads;
+
+  // Initial upper bound U.
+  Schedule initial_best;
+  switch (pp.base.ub) {
+    case UpperBoundInit::kInfinite:
+      break;
+    case UpperBoundInit::kFromEDF: {
+      const EdfResult edf = schedule_edf(ctx);
+      sh.incumbent.store(edf.max_lateness);
+      initial_best = edf.schedule;
+      result.found_solution = true;
+      break;
+    }
+    case UpperBoundInit::kExplicit:
+      sh.incumbent.store(pp.base.explicit_ub);
+      break;
+  }
+
+  // Seeding: breadth-first expansion until one frontier item per worker.
+  SearchStats seed_stats;
+  {
+    std::deque<WorkItem> frontier;
+    WorkItem root;
+    root.state = PartialSchedule::empty(ctx);
+    root.lb = lower_bound_cost(ctx, root.state, pp.base.lb);
+    frontier.push_back(std::move(root));
+    std::vector<WorkItem> buf;
+    while (!frontier.empty() &&
+           frontier.size() < static_cast<std::size_t>(threads) * 4) {
+      const WorkItem item = std::move(frontier.front());
+      frontier.pop_front();
+      if (pp.base.elim == ElimRule::kUDBAS && item.lb >= sh.threshold()) {
+        ++seed_stats.pruned_active;
+        continue;
+      }
+      buf.clear();
+      expand(sh, item, buf, seed_stats);
+      for (WorkItem& w : buf) frontier.push_back(std::move(w));
+    }
+    for (WorkItem& w : frontier) sh.queue.push_back(std::move(w));
+    sh.queue_hint.store(sh.queue.size());
+  }
+
+  TerminationReason reason = TerminationReason::kExhausted;
+  if (!sh.queue.empty()) {
+    std::vector<SearchStats> per_thread(static_cast<std::size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      pool.emplace_back([&sh, &per_thread, i] {
+        worker_loop(sh, per_thread[static_cast<std::size_t>(i)]);
+      });
+    }
+
+    // Time-limit supervisor (main thread).
+    const double limit = pp.base.rb.time_limit_s;
+    if (std::isfinite(limit)) {
+      for (;;) {
+        {
+          const std::lock_guard lock(sh.queue_mutex);
+          if (sh.done) break;
+        }
+        if (watch.seconds() >= limit) {
+          sh.stop.store(true);
+          reason = TerminationReason::kTimeLimit;
+          sh.queue_cv.notify_all();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    for (auto& th : pool) th.join();
+    for (const SearchStats& s : per_thread) merge_stats(result.stats, s);
+  }
+  merge_stats(result.stats, seed_stats);
+
+  result.best_cost = sh.incumbent.load();
+  if (sh.found) {
+    result.found_solution = true;
+    result.best = Schedule::from_partial(ctx, sh.best_state);
+  } else if (result.found_solution) {
+    result.best = std::move(initial_best);  // the EDF seed stands
+  }
+  result.reason = reason;
+  result.proved = result.found_solution &&
+                  reason != TerminationReason::kTimeLimit &&
+                  pp.base.branch == BranchRule::kBFn;
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace parabb

@@ -1,0 +1,47 @@
+// Parallel branch-and-bound (extension; DESIGN.md item 8).
+//
+// A work-sharing parallelization of the LIFO depth-first search that the
+// paper's experiments identify as the strongest configuration:
+//
+//  * a breadth-first *seeding* phase expands the root until there is at
+//    least one frontier vertex per worker;
+//  * each worker then runs sorted-LIFO dives on a private stack;
+//  * the incumbent cost is a shared atomic read on every bound test and
+//    updated (together with the incumbent schedule) under a mutex;
+//  * a worker donates the shallowest half of its stack to a global queue
+//    whenever that queue is dry and a peer is starving; idle workers block
+//    on the queue; the search ends when the queue is empty and every
+//    worker is idle.
+//
+// The returned cost is identical to the sequential engine's (same bounds,
+// same pruning rule); the number of searched vertices varies run-to-run
+// because incumbent improvements propagate asynchronously.
+#pragma once
+
+#include "parabb/bnb/engine.hpp"
+
+namespace parabb {
+
+struct ParallelParams {
+  /// Base 9-tuple. `select` is ignored (always LIFO dives); `rb.max_active`
+  /// and `rb.max_children` are ignored (no disposal in the parallel
+  /// engine); `dominance` is ignored. BR, LB, branch rule, UB init and the
+  /// time limit apply.
+  Params base;
+  int threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct ParallelResult {
+  bool found_solution = false;
+  Schedule best;
+  Time best_cost = kTimeInf;
+  bool proved = false;
+  TerminationReason reason = TerminationReason::kExhausted;
+  SearchStats stats;  ///< merged across workers (peaks are approximate sums)
+  int threads_used = 0;
+};
+
+ParallelResult solve_bnb_parallel(const SchedContext& ctx,
+                                  const ParallelParams& params);
+
+}  // namespace parabb

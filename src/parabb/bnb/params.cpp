@@ -1,0 +1,59 @@
+#include "parabb/bnb/params.hpp"
+
+#include <sstream>
+
+namespace parabb {
+
+std::string to_string(SelectRule s) {
+  switch (s) {
+    case SelectRule::kLLB: return "LLB";
+    case SelectRule::kFIFO: return "FIFO";
+    case SelectRule::kLIFO: return "LIFO";
+  }
+  return "?";
+}
+
+std::string to_string(BranchRule b) {
+  switch (b) {
+    case BranchRule::kBFn: return "BFn";
+    case BranchRule::kBF1: return "BF1";
+    case BranchRule::kDF: return "DF";
+  }
+  return "?";
+}
+
+std::string to_string(ElimRule e) {
+  switch (e) {
+    case ElimRule::kNone: return "none";
+    case ElimRule::kUDBAS: return "U/DBAS";
+  }
+  return "?";
+}
+
+std::string to_string(LowerBound l) {
+  switch (l) {
+    case LowerBound::kLB0: return "LB0";
+    case LowerBound::kLB1: return "LB1";
+    case LowerBound::kLB2: return "LB2";
+  }
+  return "?";
+}
+
+std::string to_string(UpperBoundInit u) {
+  switch (u) {
+    case UpperBoundInit::kInfinite: return "inf";
+    case UpperBoundInit::kFromEDF: return "EDF";
+    case UpperBoundInit::kExplicit: return "explicit";
+  }
+  return "?";
+}
+
+std::string describe(const Params& p) {
+  std::ostringstream os;
+  os << "B=" << to_string(p.branch) << " S=" << to_string(p.select)
+     << " E=" << to_string(p.elim) << " L=" << to_string(p.lb)
+     << " U=" << to_string(p.ub) << " BR=" << p.br * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace parabb

@@ -1,0 +1,112 @@
+// The parametrized B&B 9-tuple <B, S, E, F, D, L, U, BR, RB> of Kohler &
+// Steiglitz, as instantiated by the paper (§3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "parabb/sched/context.hpp"
+#include "parabb/sched/partial_schedule.hpp"
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+
+class SearchTrace;  // bnb/trace.hpp
+
+/// S — vertex selection rule (§3.2).
+enum class SelectRule : std::uint8_t {
+  kLLB,   ///< least lower bound; stop when popped lb >= incumbent
+  kFIFO,  ///< oldest first (breadth-first sweep; §3.2 notes it is hopeless)
+  kLIFO,  ///< newest first (depth-first dive; the paper's winner)
+};
+
+/// B — vertex branching rule (§3.3).
+enum class BranchRule : std::uint8_t {
+  kBFn,  ///< branch on every ready task × every processor (complete)
+  kBF1,  ///< branch on the highest-*level* ready task only (approximate)
+  kDF,   ///< branch on the first ready task in depth-first order (approx.)
+};
+
+/// E — vertex elimination rule (§3.6).
+enum class ElimRule : std::uint8_t {
+  kNone,   ///< keep everything (exhaustive; for reference/testing)
+  kUDBAS,  ///< U/DBAS: prune DB and AS entries with cost >= upper bound
+};
+
+/// L — lower-bound cost function (§3.5).
+enum class LowerBound : std::uint8_t {
+  kLB0,  ///< path-recursive estimated finish times (Hou & Shin style)
+  kLB1,  ///< LB0 + processor-contention term l_min (the paper's proposal)
+  kLB2,  ///< LB1 + remaining-workload packing bound (our extension)
+};
+
+/// U — initial upper-bound solution cost (§3.4, §4.4, §6).
+enum class UpperBoundInit : std::uint8_t {
+  kInfinite,  ///< no initial solution (cost +inf)
+  kFromEDF,   ///< greedy EDF provides the initial solution and its cost
+  kExplicit,  ///< caller-supplied cost (e.g. the §6 "positive value")
+};
+
+/// RB — resource bounds (TIMELIMIT, MAXSZAS, MAXSZDB).
+struct ResourceBounds {
+  double time_limit_s = std::numeric_limits<double>::infinity();
+  std::size_t max_active = std::numeric_limits<std::size_t>::max();
+  int max_children = std::numeric_limits<int>::max();
+};
+
+/// F — optional characteristic function: return false to discard a partial
+/// solution that provably cannot extend to a valid complete one. The paper
+/// leaves F unused to keep results general; the hook exists for clients.
+using CharacteristicFn =
+    std::function<bool(const SchedContext&, const PartialSchedule&)>;
+
+/// D — optional dominance relation among sibling child vertices: return
+/// true when `a` dominates `b` (b may be discarded). Applied pairwise
+/// within each newly generated child set only (the paper leaves D unused).
+using DominanceFn = std::function<bool(
+    const SchedContext&, const PartialSchedule& a, const PartialSchedule& b)>;
+
+struct Params {
+  BranchRule branch = BranchRule::kBFn;
+  SelectRule select = SelectRule::kLIFO;
+  ElimRule elim = ElimRule::kUDBAS;
+  LowerBound lb = LowerBound::kLB1;
+  UpperBoundInit ub = UpperBoundInit::kFromEDF;
+  Time explicit_ub = kTimeInf;  ///< used when ub == kExplicit
+  double br = 0.0;              ///< BR inaccuracy limit (0 = exact)
+  ResourceBounds rb;
+
+  /// When true (default), newly generated siblings are inserted in
+  /// decreasing-bound order, so stack/queue rules explore the most
+  /// promising child first ("best-first dive"). Ablatable via
+  /// bench/ablation_childorder; LLB is insensitive to it.
+  bool sort_children = true;
+
+  /// LLB tie-breaking among equal bounds. false (default) = oldest-first,
+  /// the behaviour of a plain best-first heap and what the literature's
+  /// "default" LLB does; true = newest-first, which makes LLB dive like
+  /// LIFO across equal-bound plateaus (bench/ablation_llbtie quantifies
+  /// the difference — it is the entire LLB-vs-LIFO story).
+  bool llb_tie_newest = false;
+  CharacteristicFn characteristic;  ///< F (optional)
+  DominanceFn dominance;            ///< D (optional)
+
+  /// Optional event recorder (bnb/trace.hpp); not owned, may be null.
+  /// The sequential engine records expand/activate/prune/goal/incumbent
+  /// events; the parallel engine ignores it (cross-thread ordering would
+  /// be meaningless).
+  SearchTrace* trace = nullptr;
+};
+
+std::string to_string(SelectRule s);
+std::string to_string(BranchRule b);
+std::string to_string(ElimRule e);
+std::string to_string(LowerBound l);
+std::string to_string(UpperBoundInit u);
+
+/// One-line summary "B=BFn S=LIFO E=U/DBAS L=LB1 U=EDF BR=0%".
+std::string describe(const Params& p);
+
+}  // namespace parabb

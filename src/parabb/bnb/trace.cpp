@@ -1,0 +1,61 @@
+#include "parabb/bnb/trace.hpp"
+
+#include <sstream>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+SearchTrace::SearchTrace(std::size_t capacity) : ring_(capacity) {
+  PARABB_REQUIRE(capacity >= 1, "trace capacity must be >= 1");
+}
+
+void SearchTrace::record(TraceEvent event, int level, Time value) noexcept {
+  TraceRecord& slot = ring_[next_index_ % ring_.size()];
+  slot.event = event;
+  slot.level = static_cast<std::int16_t>(level);
+  slot.value = value;
+  slot.index = next_index_;
+  ++next_index_;
+}
+
+std::vector<TraceRecord> SearchTrace::chronological() const {
+  std::vector<TraceRecord> out;
+  const std::uint64_t retained =
+      next_index_ < ring_.size() ? next_index_ : ring_.size();
+  out.reserve(retained);
+  const std::uint64_t first = next_index_ - retained;
+  for (std::uint64_t i = first; i < next_index_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+std::string SearchTrace::to_string() const {
+  std::ostringstream os;
+  if (dropped() > 0) {
+    os << "... (" << dropped() << " earlier events dropped)\n";
+  }
+  for (const TraceRecord& r : chronological()) {
+    os << '#' << r.index << ' ' << parabb::to_string(r.event) << " level="
+       << r.level << " value=" << r.value << '\n';
+  }
+  return os.str();
+}
+
+void SearchTrace::clear() noexcept { next_index_ = 0; }
+
+std::string to_string(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kExpand: return "expand";
+    case TraceEvent::kActivate: return "activate";
+    case TraceEvent::kPruneChild: return "prune-child";
+    case TraceEvent::kGoal: return "goal";
+    case TraceEvent::kIncumbent: return "incumbent";
+    case TraceEvent::kPruneActive: return "prune-active";
+    case TraceEvent::kDispose: return "dispose";
+  }
+  return "?";
+}
+
+}  // namespace parabb

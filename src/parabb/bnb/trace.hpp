@@ -1,0 +1,63 @@
+// SearchTrace: bounded recording of branch-and-bound events.
+//
+// Attach a trace via Params::trace to watch a search unfold — which levels
+// it dives to, when incumbents improve, how pruning concentrates. Used by
+// the trace_search example and by tests that assert engine behaviour
+// (e.g. "the incumbent never worsens") without poking at internals.
+// Recording into a preallocated ring buffer costs a few stores per event;
+// with no trace attached the engine pays a null check only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+
+enum class TraceEvent : std::uint8_t {
+  kExpand,      ///< vertex selected and branched (value = its bound)
+  kActivate,    ///< child inserted into the active set (value = bound)
+  kPruneChild,  ///< child discarded before insertion (value = bound)
+  kGoal,        ///< complete schedule generated (value = exact cost)
+  kIncumbent,   ///< incumbent improved (value = new cost)
+  kPruneActive, ///< active-set entries removed by E (value = count)
+  kDispose,     ///< entries dropped by RB.MAXSZAS (value = count)
+};
+
+struct TraceRecord {
+  TraceEvent event{};
+  std::int16_t level = 0;  ///< tasks scheduled at the event's vertex
+  Time value = 0;
+  std::uint64_t index = 0;  ///< global event sequence number
+};
+
+class SearchTrace {
+ public:
+  explicit SearchTrace(std::size_t capacity = 65536);
+
+  void record(TraceEvent event, int level, Time value) noexcept;
+
+  /// Records in chronological order (oldest retained first).
+  std::vector<TraceRecord> chronological() const;
+
+  std::uint64_t total_events() const noexcept { return next_index_; }
+  std::uint64_t dropped() const noexcept {
+    return next_index_ > ring_.size() ? next_index_ - ring_.size() : 0;
+  }
+
+  /// Human-readable dump of the retained window.
+  std::string to_string() const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::uint64_t next_index_ = 0;
+};
+
+std::string to_string(TraceEvent event);
+
+}  // namespace parabb

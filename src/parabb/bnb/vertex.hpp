@@ -1,0 +1,33 @@
+// Search-tree vertex: a partial (or complete) schedule plus its bound.
+//
+// Vertices live in a SlotPool (support/pool.hpp): they are created and
+// pruned at very high rates, and the active set stores only small handles.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "parabb/sched/partial_schedule.hpp"
+#include "parabb/support/pool.hpp"
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+
+struct Vertex {
+  PartialSchedule state;
+  Time lb = 0;             ///< lower-bound cost L(v)
+  std::uint32_t seq = 0;   ///< generation counter (LIFO/FIFO order, LLB ties)
+};
+
+// The pool copies vertices as raw bytes.
+static_assert(std::is_trivially_copyable_v<Vertex>);
+
+/// Handle stored in active-set containers: the bound and order key are
+/// duplicated here so selection rules never touch pool memory.
+struct VertexEntry {
+  Time lb = 0;
+  std::uint32_t seq = 0;
+  SlotRef ref;
+};
+
+}  // namespace parabb

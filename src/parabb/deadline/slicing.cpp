@@ -1,0 +1,105 @@
+#include "parabb/deadline/slicing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/topology.hpp"
+
+namespace parabb {
+namespace {
+
+void check_graph(const TaskGraph& graph) {
+  PARABB_REQUIRE(graph.task_count() >= 1, "empty graph");
+  PARABB_REQUIRE(graph.is_acyclic(), "graph must be acyclic");
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    PARABB_REQUIRE(graph.task(t).exec >= 1,
+                   "slicing requires positive execution times");
+  }
+}
+
+}  // namespace
+
+SlicingReport assign_deadlines_slicing(TaskGraph& graph,
+                                       const SlicingConfig& config) {
+  check_graph(graph);
+  const Topology topo = analyze(graph);
+
+  SlicingReport report;
+  report.critical_path = topo.critical_path;
+  report.total_work = graph.total_work();
+
+  double scale = config.laxity;
+  if (config.base == LaxityBase::kTotalWork) {
+    scale = config.laxity * static_cast<double>(report.total_work) /
+            static_cast<double>(report.critical_path);
+  }
+  PARABB_REQUIRE(scale >= 1.0,
+                 "slicing scale < 1: execution windows would be shorter than "
+                 "execution times");
+  report.scale = scale;
+
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    Task& task = graph.task(t);
+    const auto pref = static_cast<double>(topo.pref_work[ut]);
+    const auto phase = static_cast<Time>(std::llround(scale * pref));
+    const Time window_end = std::max(
+        phase + task.exec,
+        static_cast<Time>(
+            std::llround(scale * (pref + static_cast<double>(task.exec)))));
+    task.phase = phase;
+    task.rel_deadline = window_end - phase;
+  }
+
+  report.e2e_deadline = std::llround(scale *
+                                     static_cast<double>(topo.critical_path));
+  return report;
+}
+
+SlicingReport assign_deadlines_equal_slices(TaskGraph& graph,
+                                            const SlicingConfig& config) {
+  check_graph(graph);
+  const Topology topo = analyze(graph);
+
+  SlicingReport report;
+  report.critical_path = topo.critical_path;
+  report.total_work = graph.total_work();
+
+  // Same end-to-end budget as the proportional variant...
+  double e2e = config.laxity * static_cast<double>(report.critical_path);
+  if (config.base == LaxityBase::kTotalWork) {
+    e2e = config.laxity * static_cast<double>(report.total_work);
+  }
+  // ...but divided into |levels| equal slices regardless of workload.
+  Time max_exec = 1;
+  for (TaskId t = 0; t < graph.task_count(); ++t)
+    max_exec = std::max(max_exec, graph.task(t).exec);
+  const double slice =
+      std::max(static_cast<double>(max_exec),
+               e2e / static_cast<double>(topo.level_count));
+  report.scale = slice;
+
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    Task& task = graph.task(t);
+    const auto d = static_cast<double>(topo.depth[ut]);
+    task.phase = static_cast<Time>(std::llround(slice * d));
+    task.rel_deadline = std::max(
+        task.exec,
+        static_cast<Time>(std::llround(slice * (d + 1.0))) - task.phase);
+  }
+
+  report.e2e_deadline =
+      std::llround(slice * static_cast<double>(topo.level_count));
+  return report;
+}
+
+void clear_deadlines(TaskGraph& graph) {
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    graph.task(t).phase = 0;
+    graph.task(t).rel_deadline = 0;
+  }
+}
+
+}  // namespace parabb

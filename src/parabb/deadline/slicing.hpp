@@ -1,0 +1,65 @@
+// End-to-end deadline assignment by slicing (paper §4.2, reproducing the
+// technique of Jonsson & Shin, ICDCS'97 [16]).
+//
+// Each input–output chain's end-to-end deadline is divided into
+// *non-overlapping execution windows* ("slices"), one per task,
+// proportional to execution time. Concretely, with
+//   pref_i = heaviest execution-weighted path from any input to tau_i
+//            (excluding c_i),
+// task tau_i receives the window
+//   [ S * pref_i ,  S * (pref_i + c_i) ]   =>  phase = S*pref_i,
+//                                              d_i  = S*c_i (rounded),
+// where the scale S is derived from the configured laxity ratio (below).
+// Along any chain pref is strictly accumulating, so windows never overlap
+// (the property §4.2 relies on for independent per-task scheduling), and
+// S >= 1 guarantees |w_i| >= c_i.
+//
+// Laxity base — the paper pins "the overall laxity ratio of the end-to-end
+// deadline to the accumulated task graph workload" at 1.5; we support the
+// two readings of "accumulated workload":
+//  * kTotalWork (default, the literal reading): the heaviest chain's
+//    end-to-end deadline equals laxity × total graph work, i.e.
+//    S = laxity * total_work / critical_path;
+//  * kPathWork: every chain's end-to-end deadline equals laxity × that
+//    chain's own workload, i.e. S = laxity.
+#pragma once
+
+#include "parabb/support/types.hpp"
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+enum class LaxityBase {
+  kTotalWork,  ///< e2e deadline of the heaviest chain = laxity * total work
+  kPathWork,   ///< e2e deadline of each chain = laxity * chain workload
+};
+
+struct SlicingConfig {
+  double laxity = 1.5;
+  LaxityBase base = LaxityBase::kTotalWork;
+};
+
+struct SlicingReport {
+  double scale = 0.0;        ///< realized window scale S
+  Time e2e_deadline = 0;     ///< deadline of the heaviest input-output chain
+  Time critical_path = 0;    ///< heaviest chain workload
+  Time total_work = 0;       ///< accumulated graph workload
+};
+
+/// Assigns phase (arrival) and relative deadline to every task in `graph`
+/// in place. Requires an acyclic graph with positive execution times and a
+/// scale S >= 1 (throws precondition_error otherwise).
+SlicingReport assign_deadlines_slicing(TaskGraph& graph,
+                                       const SlicingConfig& config = {});
+
+/// Ablation variant: slices of *equal* length per chain position instead of
+/// execution-proportional (distributes the same end-to-end deadline by
+/// depth). Tasks with small c on deep chains get disproportionate slack;
+/// used to show why exec-proportional slicing is the right default.
+SlicingReport assign_deadlines_equal_slices(TaskGraph& graph,
+                                            const SlicingConfig& config = {});
+
+/// Removes any assignment (phase = deadline = 0).
+void clear_deadlines(TaskGraph& graph);
+
+}  // namespace parabb

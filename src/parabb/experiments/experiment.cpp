@@ -1,0 +1,163 @@
+#include "parabb/experiments/experiment.hpp"
+
+#include <mutex>
+
+#include "parabb/sched/edf.hpp"
+#include "parabb/sched/list.hpp"
+#include "parabb/support/assert.hpp"
+#include "parabb/support/threadpool.hpp"
+#include "parabb/support/timer.hpp"
+
+namespace parabb {
+namespace {
+
+/// Raw measurements of one run (one variant on one instance/machine).
+struct RunSample {
+  double vertices = 0;
+  double lateness = 0;
+  double seconds = 0;
+  double peak_active = 0;
+  bool excluded = false;
+  bool unproved = false;
+};
+
+RunSample run_variant(const AlgorithmVariant& variant, const SchedContext& ctx) {
+  RunSample s;
+  switch (variant.kind) {
+    case AlgorithmVariant::Kind::kEdf: {
+      Stopwatch w;
+      const EdfResult r = schedule_edf(ctx);
+      s.seconds = w.seconds();
+      s.vertices = edf_vertex_equivalent(ctx.task_count());
+      s.lateness = static_cast<double>(r.max_lateness);
+      s.peak_active = 1;
+      break;
+    }
+    case AlgorithmVariant::Kind::kHlfet: {
+      Stopwatch w;
+      const ListResult r = schedule_hlfet(ctx);
+      s.seconds = w.seconds();
+      s.vertices = edf_vertex_equivalent(ctx.task_count());
+      s.lateness = static_cast<double>(r.max_lateness);
+      s.peak_active = 1;
+      break;
+    }
+    case AlgorithmVariant::Kind::kBnB: {
+      const SearchResult r = solve_bnb(ctx, variant.params);
+      s.seconds = r.stats.seconds;
+      s.vertices = static_cast<double>(r.stats.generated);
+      s.lateness = static_cast<double>(r.best_cost);
+      s.peak_active = static_cast<double>(r.stats.peak_active);
+      s.excluded = r.reason == TerminationReason::kTimeLimit;
+      s.unproved = !r.proved;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+double edf_vertex_equivalent(int task_count) {
+  return static_cast<double>(task_count);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  PARABB_REQUIRE(!config.variants.empty(), "no variants configured");
+  PARABB_REQUIRE(!config.machine_sizes.empty(), "no machine sizes configured");
+  PARABB_REQUIRE(config.min_reps >= 2 && config.batch_reps >= 1 &&
+                     config.max_reps >= config.min_reps,
+                 "bad replication plan");
+
+  const std::size_t nv = config.variants.size();
+  const std::size_t nm = config.machine_sizes.size();
+
+  // samples[rep][v][mi], filled by the pool, aggregated serially.
+  std::vector<std::vector<std::vector<RunSample>>> samples;
+  std::mutex samples_mutex;
+
+  ThreadPool pool(config.threads);
+
+  auto run_rep = [&](std::size_t rep) {
+    // One random instance per replication, shared by all cells.
+    GeneratedGraph gen =
+        generate_graph(config.workload, derive_seed(config.seed, rep));
+    assign_deadlines_slicing(gen.graph, config.slicing);
+
+    std::vector<std::vector<RunSample>> rep_samples(
+        nv, std::vector<RunSample>(nm));
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      const Machine machine =
+          make_shared_bus_machine(config.machine_sizes[mi]);
+      const SchedContext ctx(gen.graph, machine);
+      for (std::size_t v = 0; v < nv; ++v) {
+        rep_samples[v][mi] = run_variant(config.variants[v], ctx);
+      }
+    }
+    const std::lock_guard lock(samples_mutex);
+    samples[rep] = std::move(rep_samples);
+  };
+
+  ExperimentResult result;
+  result.cells.assign(nv, std::vector<CellStats>(nm));
+
+  int target = config.min_reps;
+  int completed = 0;
+  while (true) {
+    samples.resize(static_cast<std::size_t>(target));
+    pool.parallel_for(static_cast<std::size_t>(target - completed),
+                      [&](std::size_t i) {
+                        run_rep(static_cast<std::size_t>(completed) + i);
+                      });
+    completed = target;
+
+    // Serial, order-deterministic aggregation from scratch. Exclusion is
+    // *paired*: a replication whose TIMELIMIT tripped for any variant at a
+    // machine size is dropped from every variant's average at that machine
+    // size, so capped runs cannot bias cross-variant ratios.
+    result.cells.assign(nv, std::vector<CellStats>(nm));
+    for (int rep = 0; rep < completed; ++rep) {
+      for (std::size_t mi = 0; mi < nm; ++mi) {
+        bool any_excluded = false;
+        for (std::size_t v = 0; v < nv; ++v) {
+          any_excluded |=
+              samples[static_cast<std::size_t>(rep)][v][mi].excluded;
+        }
+        for (std::size_t v = 0; v < nv; ++v) {
+          const RunSample& s =
+              samples[static_cast<std::size_t>(rep)][v][mi];
+          CellStats& cell = result.cells[v][mi];
+          if (any_excluded) {
+            ++cell.excluded;
+            continue;
+          }
+          if (s.unproved) ++cell.unproved;
+          cell.vertices.add(s.vertices);
+          cell.lateness.add(s.lateness);
+          cell.seconds.add(s.seconds);
+          cell.peak_active.add(s.peak_active);
+        }
+      }
+    }
+
+    // Paper's stopping rule, applied to every cell.
+    bool converged = true;
+    for (std::size_t v = 0; v < nv && converged; ++v) {
+      for (std::size_t mi = 0; mi < nm && converged; ++mi) {
+        const CellStats& cell = result.cells[v][mi];
+        converged =
+            ci_converged(cell.vertices, config.vertices_confidence,
+                         config.vertices_rel_err, /*abs_floor=*/1.0) &&
+            ci_converged(cell.lateness, config.lateness_confidence,
+                         config.lateness_rel_err, /*abs_floor=*/1.0);
+      }
+    }
+    result.reps_used = completed;
+    result.converged = converged;
+    if (converged || completed >= config.max_reps) break;
+    target = std::min(config.max_reps, completed + config.batch_reps);
+  }
+  return result;
+}
+
+}  // namespace parabb

@@ -1,0 +1,83 @@
+// Experiment harness reproducing the paper's methodology (§5):
+//
+//  * every reported value is an average over replications, one random task
+//    graph per replication (the same graph is reused across all algorithm
+//    variants and machine sizes — paired comparisons);
+//  * replications are added until Student-t confidence intervals meet the
+//    paper's targets: 90 % confidence within ±10 % of the mean for searched
+//    vertices, 95 % within ±0.5 % for maximum lateness (or a replication
+//    cap is hit, which the report flags);
+//  * runs that exceed the per-run time limit are excluded from the
+//    averages and counted (the paper reports < 1 % excluded).
+//
+// Replications execute in parallel on a thread pool; aggregation is
+// performed serially in replication order, so results are bit-identical
+// regardless of thread count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/deadline/slicing.hpp"
+#include "parabb/support/stats.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+
+/// One algorithm under test.
+struct AlgorithmVariant {
+  enum class Kind {
+    kBnB,       ///< the parametrized B&B with `params`
+    kEdf,       ///< greedy EDF reference (§4.4)
+    kHlfet,     ///< static HLFET list heuristic (extension baseline)
+  };
+  std::string label;
+  Kind kind = Kind::kBnB;
+  Params params;  ///< used when kind == kBnB
+};
+
+struct ExperimentConfig {
+  GeneratorConfig workload;                ///< task-graph distribution
+  SlicingConfig slicing;                   ///< deadline assignment
+  std::vector<int> machine_sizes{2, 3, 4}; ///< processor counts (x-axis)
+  std::vector<AlgorithmVariant> variants;
+
+  int min_reps = 8;      ///< replications in the first batch
+  int batch_reps = 8;    ///< added per round until converged
+  int max_reps = 64;     ///< hard cap (report flags non-convergence)
+
+  double vertices_confidence = 0.90;
+  double vertices_rel_err = 0.10;
+  double lateness_confidence = 0.95;
+  double lateness_rel_err = 0.005;
+
+  std::uint64_t seed = 0x5eed;
+  std::size_t threads = 0;  ///< instance-level parallelism; 0 = hardware
+};
+
+/// Aggregated measurements for one (variant, machine size) cell.
+struct CellStats {
+  OnlineStats vertices;   ///< searched (cost-evaluated) vertices
+  OnlineStats lateness;   ///< maximum task lateness of the best solution
+  OnlineStats seconds;    ///< per-run wall time
+  OnlineStats peak_active;///< peak |AS|
+  std::uint64_t excluded = 0;  ///< runs dropped for exceeding TIMELIMIT
+  std::uint64_t unproved = 0;  ///< runs that lost the optimality guarantee
+};
+
+struct ExperimentResult {
+  /// cells[v][mi] for variants[v] × machine_sizes[mi].
+  std::vector<std::vector<CellStats>> cells;
+  int reps_used = 0;
+  bool converged = false;  ///< CI targets met before the replication cap
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// EDF "searched vertices" equivalent plotted by the paper: the greedy
+/// algorithm walks a single root-to-goal path, one vertex per task.
+double edf_vertex_equivalent(int task_count);
+
+}  // namespace parabb

@@ -1,0 +1,154 @@
+#include "parabb/experiments/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/support/table.hpp"
+
+namespace parabb {
+namespace {
+
+double transform(double v, bool log_y) {
+  if (!log_y) return v;
+  return std::log10(std::max(v, 0.5));  // clamp: 0 plots at the bottom
+}
+
+}  // namespace
+
+std::string render_plot(const PlotConfig& config,
+                        const std::vector<std::string>& x_labels,
+                        const std::vector<PlotSeries>& series) {
+  PARABB_REQUIRE(!x_labels.empty(), "plot needs at least one x position");
+  PARABB_REQUIRE(!series.empty(), "plot needs at least one series");
+  PARABB_REQUIRE(config.height >= 3 && config.width >= 16,
+                 "plot too small");
+  for (const PlotSeries& s : series) {
+    PARABB_REQUIRE(s.values.size() == x_labels.size(),
+                   "series length must match x positions");
+  }
+
+  // Value range over finite points.
+  double lo = 0, hi = 0;
+  bool any = false;
+  for (const PlotSeries& s : series) {
+    for (const double v : s.values) {
+      if (!std::isfinite(v)) continue;
+      const double t = transform(v, config.log_y);
+      if (!any) {
+        lo = hi = t;
+        any = true;
+      } else {
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+    }
+  }
+  if (!any) return config.title + ": (no data)\n";
+  if (hi - lo < 1e-12) {
+    hi = lo + 1.0;
+    lo -= (config.log_y ? 0.0 : 1.0);
+  }
+
+  const auto rows = static_cast<std::size_t>(config.height);
+  const auto cols = static_cast<std::size_t>(config.width);
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+
+  const std::size_t nx = x_labels.size();
+  auto x_pos = [&](std::size_t i) {
+    return nx == 1 ? cols / 2 : i * (cols - 1) / (nx - 1);
+  };
+  auto y_row = [&](double t) {
+    const double frac = (t - lo) / (hi - lo);
+    const auto r = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(rows - 1)));
+    return rows - 1 - std::min(r, rows - 1);  // row 0 = top
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = static_cast<char>('a' + static_cast<char>(si % 26));
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double v = series[si].values[i];
+      if (!std::isfinite(v)) continue;
+      const std::size_t r = y_row(transform(v, config.log_y));
+      std::size_t c = x_pos(i);
+      // Nudge right if another series already owns the cell.
+      while (c < cols && canvas[r][c] != ' ') ++c;
+      if (c < cols) canvas[r][c] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << config.title << "  (y: " << config.y_label
+     << (config.log_y ? ", log scale" : "") << ")\n";
+  // y-axis tick labels at top/bottom.
+  auto tick = [&](double t) {
+    const double v = config.log_y ? std::pow(10.0, t) : t;
+    return fmt_double(v, config.log_y ? 0 : 2);
+  };
+  const std::string top = tick(hi);
+  const std::string bottom = tick(lo);
+  const std::size_t label_w = std::max(top.size(), bottom.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = std::string(label_w - top.size(), ' ') + top;
+    if (r == rows - 1)
+      label = std::string(label_w - bottom.size(), ' ') + bottom;
+    os << label << " |" << canvas[r] << "\n";
+  }
+  os << std::string(label_w, ' ') << " +" << std::string(cols, '-') << "\n";
+  // x labels.
+  std::string xrow(cols, ' ');
+  for (std::size_t i = 0; i < nx; ++i) {
+    const std::string& xl = x_labels[i];
+    std::size_t c = x_pos(i);
+    if (c + xl.size() > cols && xl.size() <= cols) c = cols - xl.size();
+    for (std::size_t k = 0; k < xl.size() && c + k < cols; ++k)
+      xrow[c + k] = xl[k];
+  }
+  os << std::string(label_w, ' ') << "  " << xrow << "\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << static_cast<char>('a' + static_cast<char>(si % 26))
+       << " = " << series[si].label << "\n";
+  }
+  return os.str();
+}
+
+std::string render_paper_figure(const ExperimentConfig& config,
+                                const ExperimentResult& result,
+                                const std::string& title) {
+  std::vector<std::string> x_labels;
+  for (const int m : config.machine_sizes)
+    x_labels.push_back(std::to_string(m));
+
+  std::vector<PlotSeries> vertices, lateness;
+  for (std::size_t v = 0; v < config.variants.size(); ++v) {
+    PlotSeries sv{config.variants[v].label, {}};
+    PlotSeries sl{config.variants[v].label, {}};
+    for (std::size_t mi = 0; mi < config.machine_sizes.size(); ++mi) {
+      const CellStats& cell = result.cells[v][mi];
+      const bool has = cell.vertices.count() > 0;
+      sv.values.push_back(has ? cell.vertices.mean()
+                              : std::nan(""));
+      sl.values.push_back(has ? cell.lateness.mean()
+                              : std::nan(""));
+    }
+    vertices.push_back(std::move(sv));
+    lateness.push_back(std::move(sl));
+  }
+
+  PlotConfig upper;
+  upper.title = title + " — searched vertices vs machine size";
+  upper.y_label = "vertices";
+  upper.log_y = true;
+  PlotConfig lower;
+  lower.title = title + " — max task lateness vs machine size";
+  lower.y_label = "lateness";
+  lower.log_y = false;
+
+  return render_plot(upper, x_labels, vertices) + "\n" +
+         render_plot(lower, x_labels, lateness);
+}
+
+}  // namespace parabb

@@ -1,0 +1,38 @@
+// ASCII rendering of the paper's two-panel figures: a log-scale panel of
+// searched vertices and a linear panel of maximum task lateness, both as
+// series over the machine size (or any other swept parameter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parabb/experiments/experiment.hpp"
+
+namespace parabb {
+
+struct PlotSeries {
+  std::string label;
+  std::vector<double> values;  ///< one per x position; NaN = missing
+};
+
+struct PlotConfig {
+  std::string title;
+  std::string y_label;
+  bool log_y = false;
+  int height = 12;  ///< chart rows (excluding axes/legend)
+  int width = 56;   ///< chart columns
+};
+
+/// Renders series sampled at `x_labels` positions as an ASCII chart with
+/// one mark character per series ('a', 'b', ...) and a legend.
+std::string render_plot(const PlotConfig& config,
+                        const std::vector<std::string>& x_labels,
+                        const std::vector<PlotSeries>& series);
+
+/// Convenience: the paper's figure layout for an experiment result —
+/// upper panel log-vertices, lower panel lateness, x = machine sizes.
+std::string render_paper_figure(const ExperimentConfig& config,
+                                const ExperimentResult& result,
+                                const std::string& title);
+
+}  // namespace parabb

@@ -1,0 +1,78 @@
+#include "parabb/experiments/report.hpp"
+
+#include <cstdio>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+TextTable make_report_table(const ExperimentConfig& config,
+                            const ExperimentResult& result) {
+  TextTable table;
+  table.set_header({"variant", "m", "vertices", "lateness", "ms/run",
+                    "peak |AS|", "excl", "unprov", "runs"});
+  for (std::size_t v = 0; v < config.variants.size(); ++v) {
+    if (v > 0) table.add_rule();
+    for (std::size_t mi = 0; mi < config.machine_sizes.size(); ++mi) {
+      const CellStats& cell = result.cells[v][mi];
+      table.add_row({
+          config.variants[v].label,
+          std::to_string(config.machine_sizes[mi]),
+          fmt_ci(cell.vertices.mean(),
+                 ci_halfwidth(cell.vertices, config.vertices_confidence), 1),
+          fmt_ci(cell.lateness.mean(),
+                 ci_halfwidth(cell.lateness, config.lateness_confidence), 2),
+          fmt_double(cell.seconds.mean() * 1e3, 3),
+          fmt_double(cell.peak_active.mean(), 1),
+          std::to_string(cell.excluded),
+          std::to_string(cell.unproved),
+          std::to_string(cell.vertices.count()),
+      });
+    }
+  }
+  return table;
+}
+
+TextTable make_ratio_table(const ExperimentConfig& config,
+                           const ExperimentResult& result,
+                           std::size_t reference_variant) {
+  PARABB_REQUIRE(reference_variant < config.variants.size(),
+                 "reference variant index out of range");
+  TextTable table;
+  std::vector<std::string> header{"m"};
+  for (std::size_t v = 0; v < config.variants.size(); ++v) {
+    if (v == reference_variant) continue;
+    header.push_back(config.variants[v].label + " vtx/ref");
+    header.push_back(config.variants[v].label + " lat-ref");
+  }
+  table.set_header(std::move(header));
+  for (std::size_t mi = 0; mi < config.machine_sizes.size(); ++mi) {
+    std::vector<std::string> row{
+        std::to_string(config.machine_sizes[mi])};
+    const CellStats& ref = result.cells[reference_variant][mi];
+    for (std::size_t v = 0; v < config.variants.size(); ++v) {
+      if (v == reference_variant) continue;
+      const CellStats& cell = result.cells[v][mi];
+      const double vr = ref.vertices.mean() > 0
+                            ? cell.vertices.mean() / ref.vertices.mean()
+                            : 0.0;
+      row.push_back(fmt_double(vr, 2) + "x");
+      row.push_back(fmt_double(cell.lateness.mean() - ref.lateness.mean(),
+                               2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void emit(const std::string& heading, const TextTable& table,
+          const std::string& csv_path) {
+  std::printf("\n== %s ==\n%s", heading.c_str(), table.to_string().c_str());
+  if (!csv_path.empty()) {
+    write_text_file(csv_path, table.to_csv());
+    std::printf("(csv written to %s)\n", csv_path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace parabb

@@ -1,0 +1,40 @@
+// Text-file experiment specifications (FEAST-style front end; the paper's
+// experiments were driven by such a framework, see its footnote 1).
+//
+// An experiment spec is line-oriented ('#' comments, blank lines ignored):
+//
+//   workload n=12..16 depth=8..12 degree=3 exec-mean=20 exec-dev=0.99
+//            ccr=1.0 width=0     (one line in the file)
+//   slicing laxity=1.5 base=path|total
+//   machines 2,3,4
+//   reps min=8 batch=8 max=24
+//   seed 42
+//   limit time=1.0 max-active=250000
+//   threads 0
+//   variant edf
+//   variant hlfet
+//   variant bnb label=LIFO select=lifo branch=bfn lb=lb1 ub=edf br=0
+//
+// Every directive is optional except at least one `variant`; unspecified
+// knobs keep the paper's defaults. Ranges use `lo..hi`; single values
+// mean lo == hi. `variant bnb` accepts select=lifo|llb|fifo,
+// branch=bfn|bf1|df, lb=lb0|lb1|lb2, ub=edf|inf|<integer>, br=<float>,
+// sort=0|1, llb-ties=oldest|newest.
+#pragma once
+
+#include <string>
+
+#include "parabb/experiments/experiment.hpp"
+
+namespace parabb {
+
+/// Parses a spec document into an ExperimentConfig. Throws
+/// std::runtime_error with a line-numbered message on malformed input or
+/// if no variant is declared. The per-run resource bounds from `limit`
+/// are applied to every B&B variant.
+ExperimentConfig parse_experiment_spec(const std::string& text);
+
+/// Reads and parses a spec file.
+ExperimentConfig load_experiment_spec(const std::string& path);
+
+}  // namespace parabb

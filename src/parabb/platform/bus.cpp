@@ -1,0 +1,44 @@
+#include "parabb/platform/bus.hpp"
+
+#include <algorithm>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+SharedBus::SharedBus(Time per_item) : per_item_(per_item) {
+  PARABB_REQUIRE(per_item >= 0, "per-item delay must be >= 0");
+}
+
+Time SharedBus::probe(Time earliest, Time duration) const {
+  PARABB_REQUIRE(duration >= 0, "duration must be >= 0");
+  if (duration == 0) return earliest;
+  Time candidate = earliest;
+  for (const Interval& iv : busy_) {
+    if (iv.finish <= candidate) continue;      // entirely before candidate
+    if (iv.start >= candidate + duration) break;  // gap fits
+    candidate = iv.finish;                     // push past this reservation
+  }
+  return candidate;
+}
+
+Time SharedBus::reserve(Time earliest, Time items) {
+  PARABB_REQUIRE(items >= 0, "message size must be >= 0");
+  const Time duration = items * per_item_;
+  if (duration == 0) return earliest;
+  const Time start = probe(earliest, duration);
+  const Interval iv{start, start + duration};
+  const auto pos = std::lower_bound(
+      busy_.begin(), busy_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  busy_.insert(pos, iv);
+  return iv.finish;
+}
+
+Time SharedBus::utilization() const noexcept {
+  Time total = 0;
+  for (const Interval& iv : busy_) total += iv.finish - iv.start;
+  return total;
+}
+
+}  // namespace parabb

@@ -1,0 +1,48 @@
+// SharedBus: a contention-aware serializing bus timeline (extension).
+//
+// The paper charges a *nominal* per-item delay and assumes the interconnect's
+// own scheduler absorbs contention. This class models the bus explicitly:
+// messages reserve exclusive, non-preemptive slots on a single shared medium.
+// The bus-aware placement path in parabb_sched uses it to quantify how much
+// lateness the nominal model hides (bench `ablation` material; see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+
+class SharedBus {
+ public:
+  explicit SharedBus(Time per_item = 1);
+
+  Time per_item_delay() const noexcept { return per_item_; }
+
+  /// Earliest start >= `earliest` at which a `duration`-long exclusive slot
+  /// fits, without reserving it.
+  Time probe(Time earliest, Time duration) const;
+
+  /// Reserves the earliest feasible slot >= `earliest` for a message of
+  /// `items` data items; returns the transfer's [start, finish) interval
+  /// finish. Zero-item messages cost nothing and return `earliest`.
+  Time reserve(Time earliest, Time items);
+
+  /// Number of reserved transfer slots.
+  std::size_t reservation_count() const noexcept { return busy_.size(); }
+
+  /// Total reserved bus time.
+  Time utilization() const noexcept;
+
+  void clear() noexcept { busy_.clear(); }
+
+ private:
+  struct Interval {
+    Time start, finish;  // [start, finish)
+  };
+
+  Time per_item_;
+  std::vector<Interval> busy_;  // sorted by start, non-overlapping
+};
+
+}  // namespace parabb

@@ -1,0 +1,108 @@
+#include "parabb/platform/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+NetworkTopology::NetworkTopology(int procs, std::string name)
+    : procs_(procs),
+      name_(std::move(name)),
+      hop_(static_cast<std::size_t>(procs) * static_cast<std::size_t>(procs),
+           0) {
+  PARABB_REQUIRE(procs >= 1 && procs <= kMaxProcs,
+                 "topology processor count out of range");
+}
+
+int& NetworkTopology::at(ProcId p, ProcId q) {
+  return hop_[static_cast<std::size_t>(p) *
+                  static_cast<std::size_t>(procs_) +
+              static_cast<std::size_t>(q)];
+}
+
+int NetworkTopology::at(ProcId p, ProcId q) const {
+  return hop_[static_cast<std::size_t>(p) *
+                  static_cast<std::size_t>(procs_) +
+              static_cast<std::size_t>(q)];
+}
+
+int NetworkTopology::hops(ProcId p, ProcId q) const {
+  PARABB_REQUIRE(p >= 0 && p < procs_ && q >= 0 && q < procs_,
+                 "processor id out of range");
+  return at(p, q);
+}
+
+int NetworkTopology::diameter() const noexcept {
+  int d = 0;
+  for (const int h : hop_) d = std::max(d, h);
+  return d;
+}
+
+NetworkTopology NetworkTopology::fully_connected(int procs) {
+  NetworkTopology t(procs, "fully-connected");
+  for (ProcId p = 0; p < procs; ++p)
+    for (ProcId q = 0; q < procs; ++q) t.at(p, q) = p == q ? 0 : 1;
+  return t;
+}
+
+NetworkTopology NetworkTopology::ring(int procs) {
+  NetworkTopology t(procs, "ring");
+  for (ProcId p = 0; p < procs; ++p) {
+    for (ProcId q = 0; q < procs; ++q) {
+      const int fwd = std::abs(p - q);
+      t.at(p, q) = std::min(fwd, procs - fwd);
+    }
+  }
+  return t;
+}
+
+NetworkTopology NetworkTopology::line(int procs) {
+  NetworkTopology t(procs, "line");
+  for (ProcId p = 0; p < procs; ++p)
+    for (ProcId q = 0; q < procs; ++q) t.at(p, q) = std::abs(p - q);
+  return t;
+}
+
+NetworkTopology NetworkTopology::mesh(int rows, int cols) {
+  PARABB_REQUIRE(rows >= 1 && cols >= 1, "mesh dimensions must be >= 1");
+  NetworkTopology t(rows * cols, "mesh " + std::to_string(rows) + "x" +
+                                     std::to_string(cols));
+  const int procs = rows * cols;
+  for (ProcId p = 0; p < procs; ++p) {
+    for (ProcId q = 0; q < procs; ++q) {
+      const int pr = p / cols, pc = p % cols;
+      const int qr = q / cols, qc = q % cols;
+      t.at(p, q) = std::abs(pr - qr) + std::abs(pc - qc);
+    }
+  }
+  return t;
+}
+
+NetworkTopology NetworkTopology::custom(
+    std::vector<std::vector<int>> hops, std::string name) {
+  const auto n = static_cast<int>(hops.size());
+  NetworkTopology t(n, std::move(name));
+  for (ProcId p = 0; p < n; ++p) {
+    PARABB_REQUIRE(static_cast<int>(hops[static_cast<std::size_t>(p)]
+                                        .size()) == n,
+                   "hop matrix must be square");
+    for (ProcId q = 0; q < n; ++q) {
+      const int h = hops[static_cast<std::size_t>(p)]
+                        [static_cast<std::size_t>(q)];
+      if (p == q) {
+        PARABB_REQUIRE(h == 0, "diagonal hops must be 0");
+      } else {
+        PARABB_REQUIRE(h >= 1, "off-diagonal hops must be >= 1");
+        PARABB_REQUIRE(hops[static_cast<std::size_t>(q)]
+                           [static_cast<std::size_t>(p)] == h,
+                       "hop matrix must be symmetric");
+      }
+      t.at(p, q) = h;
+    }
+  }
+  return t;
+}
+
+}  // namespace parabb

@@ -1,0 +1,64 @@
+// Interconnection-network topologies (paper §2.1: "an arbitrary topology
+// that could include dedicated as well as shared links"; the nominal
+// communication delay "reflects the scheduling strategy used by the
+// underlying interconnection network").
+//
+// We model the topology's effect on the nominal delay as a hop count:
+// a message between processors p and q costs items × per-item-delay ×
+// hops(p, q) (store-and-forward over shortest routes; same-processor
+// communication stays free). The paper's shared bus is the 1-hop special
+// case. Because the machine model is part of SchedContext, the B&B then
+// searches with placement-dependent communication costs — schedules on a
+// ring genuinely differ from schedules on a bus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+
+class NetworkTopology {
+ public:
+  /// Shared bus / crossbar / fully connected: every distinct pair is one
+  /// hop (the paper's platform).
+  static NetworkTopology fully_connected(int procs);
+
+  /// Bidirectional ring: hops = min ring distance.
+  static NetworkTopology ring(int procs);
+
+  /// Linear array: hops = |p - q|.
+  static NetworkTopology line(int procs);
+
+  /// 2D mesh (row-major processor ids): hops = Manhattan distance.
+  static NetworkTopology mesh(int rows, int cols);
+
+  /// Custom symmetric hop matrix (hops[p][q] >= 1 for p != q, 0 on the
+  /// diagonal). Throws precondition_error if malformed.
+  static NetworkTopology custom(std::vector<std::vector<int>> hops,
+                                std::string name = "custom");
+
+  int procs() const noexcept { return procs_; }
+
+  /// Number of store-and-forward hops between p and q (0 iff p == q).
+  int hops(ProcId p, ProcId q) const;
+
+  /// Largest hop count between any pair (the network diameter).
+  int diameter() const noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  NetworkTopology(int procs, std::string name);
+
+  int& at(ProcId p, ProcId q);
+  int at(ProcId p, ProcId q) const;
+
+  int procs_;
+  std::string name_;
+  std::vector<int> hop_;  // row-major procs_ x procs_
+};
+
+}  // namespace parabb

@@ -1,0 +1,110 @@
+// SchedContext: a flattened, cache-friendly view of (task graph × machine)
+// shared by the scheduling operation, the EDF baseline, the lower-bound
+// functions, and the B&B engine.
+//
+// All times are pre-narrowed to int32 (checked) and all adjacency is CSR so
+// the per-vertex hot path touches contiguous arrays only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "parabb/platform/machine.hpp"
+#include "parabb/support/bitset64.hpp"
+#include "parabb/support/types.hpp"
+#include "parabb/taskgraph/graph.hpp"
+#include "parabb/taskgraph/topology.hpp"
+
+namespace parabb {
+
+/// Compact time type used inside search vertices.
+using CTime = std::int32_t;
+
+class SchedContext {
+ public:
+  /// Builds the context; validates n <= kMaxTasks, m <= kMaxProcs,
+  /// acyclicity, and that every time value fits the compact range.
+  /// The graph is copied: the context is self-contained and safe to keep
+  /// past the source graph's lifetime.
+  SchedContext(const TaskGraph& graph, const Machine& machine);
+
+  int task_count() const noexcept { return n_; }
+  int proc_count() const noexcept { return m_; }
+  const Machine& machine() const noexcept { return machine_; }
+  const TaskGraph& graph() const noexcept { return graph_; }
+  const Topology& topology() const noexcept { return topo_; }
+
+  CTime exec(TaskId t) const noexcept { return exec_[idx(t)]; }
+  CTime arrival(TaskId t) const noexcept { return arrival_[idx(t)]; }
+  /// Absolute deadline D_i of the (single-frame) invocation.
+  CTime deadline(TaskId t) const noexcept { return deadline_[idx(t)]; }
+
+  /// Predecessors of t as parallel spans: ids and precomputed nominal
+  /// cross-processor communication delays (items × per-item delay).
+  std::span<const TaskId> pred_ids(TaskId t) const noexcept {
+    return {pred_task_.data() + pred_off_[idx(t)],
+            pred_off_[idx(t) + 1] - pred_off_[idx(t)]};
+  }
+  std::span<const CTime> pred_comm(TaskId t) const noexcept {
+    return {pred_comm_.data() + pred_off_[idx(t)],
+            pred_off_[idx(t) + 1] - pred_off_[idx(t)]};
+  }
+  std::span<const TaskId> succ_ids(TaskId t) const noexcept {
+    return {succ_task_.data() + succ_off_[idx(t)],
+            succ_off_[idx(t) + 1] - succ_off_[idx(t)]};
+  }
+  std::span<const CTime> succ_comm(TaskId t) const noexcept {
+    return {succ_comm_.data() + succ_off_[idx(t)],
+            succ_off_[idx(t) + 1] - succ_off_[idx(t)]};
+  }
+
+  int pred_count(TaskId t) const noexcept {
+    return static_cast<int>(pred_ids(t).size());
+  }
+
+  /// Hop multiplier between two processors (0 on the diagonal): the
+  /// nominal delay of a message is pred_comm[k] × hop(p, q).
+  CTime hop(ProcId p, ProcId q) const noexcept {
+    return hop_[static_cast<std::size_t>(p) * kMaxProcs +
+                static_cast<std::size_t>(q)];
+  }
+
+  /// Tasks with no predecessors (ready in the empty schedule).
+  TaskSet initial_ready() const noexcept { return initial_ready_; }
+
+  /// All n tasks as a set.
+  TaskSet all_tasks() const noexcept { return TaskSet::first_n(n_); }
+
+  /// Deterministic forward topological order (shared with Topology).
+  std::span<const TaskId> topo_order() const noexcept {
+    return topo_.topo_order;
+  }
+  /// DF branching priority (see Topology::dfs_order).
+  std::span<const TaskId> dfs_order() const noexcept {
+    return topo_.dfs_order;
+  }
+  /// BF1 branching priority (see Topology::level_order).
+  std::span<const TaskId> level_order() const noexcept {
+    return topo_.level_order;
+  }
+
+ private:
+  static std::size_t idx(TaskId t) noexcept {
+    return static_cast<std::size_t>(t);
+  }
+
+  TaskGraph graph_;
+  Machine machine_;
+  Topology topo_;
+  int n_ = 0;
+  int m_ = 0;
+  std::vector<CTime> exec_, arrival_, deadline_;
+  std::vector<std::size_t> pred_off_, succ_off_;
+  std::vector<TaskId> pred_task_, succ_task_;
+  std::vector<CTime> pred_comm_, succ_comm_;
+  std::array<CTime, static_cast<std::size_t>(kMaxProcs) * kMaxProcs> hop_{};
+  TaskSet initial_ready_;
+};
+
+}  // namespace parabb

@@ -1,0 +1,36 @@
+#include "parabb/sched/edf.hpp"
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+EdfResult schedule_edf(const SchedContext& ctx) {
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  while (!ps.complete(ctx)) {
+    PARABB_ASSERT(!ps.ready().empty());
+    // Pick the ready task with the closest absolute deadline.
+    TaskId best_task = kNoTask;
+    for (const TaskId t : ps.ready()) {
+      if (best_task == kNoTask || ctx.deadline(t) < ctx.deadline(best_task)) {
+        best_task = t;
+      }
+    }
+    // Place it on the processor that yields the earliest start time.
+    ProcId best_proc = 0;
+    CTime best_start = ps.earliest_start(ctx, best_task, 0);
+    for (ProcId p = 1; p < ctx.proc_count(); ++p) {
+      const CTime s = ps.earliest_start(ctx, best_task, p);
+      if (s < best_start) {
+        best_start = s;
+        best_proc = p;
+      }
+    }
+    ps.place(ctx, best_task, best_proc);
+  }
+  EdfResult out;
+  out.schedule = Schedule::from_partial(ctx, ps);
+  out.max_lateness = ps.max_lateness_scheduled(ctx);
+  return out;
+}
+
+}  // namespace parabb

@@ -1,0 +1,32 @@
+#include "parabb/sched/etf.hpp"
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+EtfResult schedule_etf(const SchedContext& ctx) {
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  while (!ps.complete(ctx)) {
+    PARABB_ASSERT(!ps.ready().empty());
+    TaskId best_task = kNoTask;
+    ProcId best_proc = 0;
+    CTime best_start = 0;
+    for (const TaskId t : ps.ready()) {
+      for (ProcId p = 0; p < ctx.proc_count(); ++p) {
+        const CTime s = ps.earliest_start(ctx, t, p);
+        if (best_task == kNoTask || s < best_start) {
+          best_task = t;
+          best_proc = p;
+          best_start = s;
+        }
+      }
+    }
+    ps.place(ctx, best_task, best_proc);
+  }
+  EtfResult out;
+  out.schedule = Schedule::from_partial(ctx, ps);
+  out.max_lateness = ps.max_lateness_scheduled(ctx);
+  return out;
+}
+
+}  // namespace parabb

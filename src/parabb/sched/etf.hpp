@@ -1,0 +1,21 @@
+// ETF (Earliest Task First) baseline: a dynamic list scheduler that, at
+// each step, places the (ready task, processor) pair achieving the
+// globally earliest start time. Classic makespan heuristic (Hwang et al.);
+// included as an extension baseline alongside EDF and HLFET — it is
+// deadline-blind, so its lateness shows what deadline awareness buys.
+#pragma once
+
+#include "parabb/sched/schedule.hpp"
+
+namespace parabb {
+
+struct EtfResult {
+  Schedule schedule;
+  Time max_lateness = 0;
+};
+
+/// Runs ETF to completion. Ties: earlier start, then smaller task id,
+/// then smaller processor id — fully deterministic.
+EtfResult schedule_etf(const SchedContext& ctx);
+
+}  // namespace parabb

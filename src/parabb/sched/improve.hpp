@@ -1,0 +1,45 @@
+// Local-search schedule improvement, after Abdelzaher & Shin (the paper's
+// reference [5]): start from a complete solution and improve it while the
+// task-to-processor assignment structure stays explicit.
+//
+// Neighbourhood moves:
+//  * swap two adjacent tasks in one processor's sequence;
+//  * relocate one task to any position on any processor.
+// After a move, start times are recomputed by a precedence-consistent
+// sweep (same operation as the B&B scheduler: arrival, predecessor finish
+// + cross-processor communication, append order). A move that deadlocks
+// (order contradicts precedence) is rejected. First-improvement hill
+// climbing until a local optimum or the iteration budget.
+//
+// This is a heuristic: it cannot certify optimality, but it upgrades any
+// greedy baseline cheaply and gives the benches a stronger non-search
+// comparison point.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "parabb/sched/schedule.hpp"
+
+namespace parabb {
+
+struct ImproveResult {
+  Schedule schedule;
+  Time max_lateness = 0;
+  int moves_applied = 0;    ///< accepted (improving) moves
+  int moves_evaluated = 0;  ///< neighbourhood positions examined
+  bool local_optimum = false;  ///< true if search ended with no move left
+};
+
+/// Improves `initial` on `ctx`. `max_moves` bounds accepted moves (each
+/// triggers a fresh neighbourhood scan).
+ImproveResult improve_schedule(const SchedContext& ctx,
+                               const Schedule& initial, int max_moves = 256);
+
+/// Re-times explicit per-processor task orders with the non-preemptive
+/// scheduling operation. Returns std::nullopt when the orders deadlock
+/// against the precedence relation. Exposed for tests.
+std::optional<Schedule> retime_orders(
+    const SchedContext& ctx, const std::vector<std::vector<TaskId>>& orders);
+
+}  // namespace parabb

@@ -1,0 +1,47 @@
+#include "parabb/sched/list.hpp"
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+ListResult schedule_by_priority(const SchedContext& ctx,
+                                std::span<const TaskId> priority) {
+  PARABB_REQUIRE(static_cast<int>(priority.size()) == ctx.task_count(),
+                 "priority list must cover every task exactly once");
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  while (!ps.complete(ctx)) {
+    // Highest-priority ready task.
+    TaskId chosen = kNoTask;
+    for (const TaskId t : priority) {
+      if (ps.ready().contains(t)) {
+        chosen = t;
+        break;
+      }
+    }
+    PARABB_ASSERT(chosen != kNoTask);
+    ProcId best_proc = 0;
+    CTime best_start = ps.earliest_start(ctx, chosen, 0);
+    for (ProcId p = 1; p < ctx.proc_count(); ++p) {
+      const CTime s = ps.earliest_start(ctx, chosen, p);
+      if (s < best_start) {
+        best_start = s;
+        best_proc = p;
+      }
+    }
+    ps.place(ctx, chosen, best_proc);
+  }
+  ListResult out;
+  out.schedule = Schedule::from_partial(ctx, ps);
+  out.max_lateness = ps.max_lateness_scheduled(ctx);
+  return out;
+}
+
+ListResult schedule_hlfet(const SchedContext& ctx) {
+  return schedule_by_priority(ctx, ctx.level_order());
+}
+
+ListResult schedule_df_list(const SchedContext& ctx) {
+  return schedule_by_priority(ctx, ctx.dfs_order());
+}
+
+}  // namespace parabb

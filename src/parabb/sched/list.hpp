@@ -1,0 +1,34 @@
+// Static-priority list scheduling baselines (extensions beyond the paper's
+// EDF reference; useful comparison points in benches and examples).
+//
+// `schedule_by_priority` consumes a fixed priority permutation of all tasks:
+// at each step it places the highest-priority *ready* task on the processor
+// giving the earliest start time. With the topology's `level_order` this is
+// classic HLFET ("highest level first"); with `dfs_order` it mirrors the
+// DF branching rule's fixed traversal.
+#pragma once
+
+#include <span>
+
+#include "parabb/sched/schedule.hpp"
+
+namespace parabb {
+
+struct ListResult {
+  Schedule schedule;
+  Time max_lateness = 0;
+};
+
+/// Schedules all tasks following the fixed `priority` permutation (every
+/// task id exactly once; highest priority first).
+ListResult schedule_by_priority(const SchedContext& ctx,
+                                std::span<const TaskId> priority);
+
+/// HLFET: priority = decreasing bottom level.
+ListResult schedule_hlfet(const SchedContext& ctx);
+
+/// Fixed depth-first order (the DF rule run as a plain heuristic, without
+/// any search).
+ListResult schedule_df_list(const SchedContext& ctx);
+
+}  // namespace parabb

@@ -1,0 +1,81 @@
+#include "parabb/sched/partial_schedule.hpp"
+
+#include <algorithm>
+
+namespace parabb {
+
+PartialSchedule PartialSchedule::empty(const SchedContext& ctx) {
+  PartialSchedule ps;
+  ps.ready_ = ctx.initial_ready();
+  for (TaskId t = 0; t < ctx.task_count(); ++t) {
+    ps.missing_preds_[static_cast<std::size_t>(t)] =
+        static_cast<std::int8_t>(ctx.pred_count(t));
+  }
+  return ps;
+}
+
+CTime PartialSchedule::min_proc_avail(const SchedContext& ctx) const noexcept {
+  CTime lo = avail_[0];
+  for (ProcId p = 1; p < ctx.proc_count(); ++p) {
+    lo = std::min(lo, avail_[static_cast<std::size_t>(p)]);
+  }
+  return lo;
+}
+
+CTime PartialSchedule::earliest_start(const SchedContext& ctx, TaskId t,
+                                      ProcId p) const noexcept {
+  PARABB_ASSERT(p >= 0 && p < ctx.proc_count());
+  CTime est = std::max(ctx.arrival(t), avail_[static_cast<std::size_t>(p)]);
+  const auto preds = ctx.pred_ids(t);
+  const auto comm = ctx.pred_comm(t);
+  for (std::size_t k = 0; k < preds.size(); ++k) {
+    const TaskId j = preds[k];
+    PARABB_ASSERT(scheduled_.contains(j));
+    const auto uj = static_cast<std::size_t>(j);
+    // hop(p, p) == 0, so co-located predecessors add no delay.
+    const CTime avail_time = start_[uj] + ctx.exec(j) +
+                             comm[k] * ctx.hop(proc_[uj], p);
+    est = std::max(est, avail_time);
+  }
+  return est;
+}
+
+CTime PartialSchedule::place(const SchedContext& ctx, TaskId t,
+                             ProcId p) noexcept {
+  PARABB_ASSERT(ready_.contains(t));
+  const CTime s = earliest_start(ctx, t, p);
+  const auto ut = static_cast<std::size_t>(t);
+  start_[ut] = s;
+  proc_[ut] = static_cast<std::int8_t>(p);
+  avail_[static_cast<std::size_t>(p)] = s + ctx.exec(t);
+  scheduled_.insert(t);
+  ready_.erase(t);
+  ++count_;
+  for (const TaskId succ : ctx.succ_ids(t)) {
+    const auto us = static_cast<std::size_t>(succ);
+    if (--missing_preds_[us] == 0) ready_.insert(succ);
+  }
+  return s;
+}
+
+Time PartialSchedule::max_lateness_scheduled(
+    const SchedContext& ctx) const noexcept {
+  Time worst = kTimeNegInf;
+  for (const TaskId t : scheduled_) {
+    const Time lateness = Time{finish(ctx, t)} - Time{ctx.deadline(t)};
+    worst = std::max(worst, lateness);
+  }
+  return worst;
+}
+
+bool operator==(const PartialSchedule& a, const PartialSchedule& b) noexcept {
+  if (a.scheduled_ != b.scheduled_ || a.count_ != b.count_) return false;
+  for (const TaskId t : a.scheduled_) {
+    const auto ut = static_cast<std::size_t>(t);
+    if (a.start_[ut] != b.start_[ut] || a.proc_[ut] != b.proc_[ut])
+      return false;
+  }
+  return a.avail_ == b.avail_;
+}
+
+}  // namespace parabb

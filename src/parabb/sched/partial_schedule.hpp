@@ -1,0 +1,89 @@
+// PartialSchedule: the branch-and-bound search state — a prefix of a
+// schedule built by the paper's non-preemptive scheduling operation (§4.3).
+//
+// The scheduling operation: a new task starts at the earliest time that is
+//  * >= its arrival time a_i,
+//  * >= the finish of every already-scheduled direct predecessor, plus the
+//    nominal communication delay when the predecessor sits on a different
+//    processor, and
+//  * >= the finish of every task previously scheduled on the chosen
+//    processor (append-only; idle gaps are never back-filled, which is what
+//    makes the operation non-commutative and the full permutation search
+//    necessary).
+//
+// The type is a trivially-copyable fixed-capacity value (~250 bytes) so that
+// millions of search vertices stay pool-friendly and memcpy-cheap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "parabb/sched/context.hpp"
+#include "parabb/support/bitset64.hpp"
+
+namespace parabb {
+
+class PartialSchedule {
+ public:
+  PartialSchedule() = default;
+
+  /// The empty schedule for `ctx` (level 0: nothing placed, inputs ready).
+  static PartialSchedule empty(const SchedContext& ctx);
+
+  int count() const noexcept { return count_; }
+  TaskSet scheduled() const noexcept { return scheduled_; }
+  /// Tasks whose predecessors are all scheduled but which are not yet
+  /// scheduled themselves.
+  TaskSet ready() const noexcept { return ready_; }
+  bool complete(const SchedContext& ctx) const noexcept {
+    return count_ == ctx.task_count();
+  }
+
+  CTime start(TaskId t) const noexcept {
+    PARABB_ASSERT(scheduled_.contains(t));
+    return start_[static_cast<std::size_t>(t)];
+  }
+  CTime finish(const SchedContext& ctx, TaskId t) const noexcept {
+    return start(t) + ctx.exec(t);
+  }
+  ProcId proc(TaskId t) const noexcept {
+    PARABB_ASSERT(scheduled_.contains(t));
+    return proc_[static_cast<std::size_t>(t)];
+  }
+
+  /// First idle time of processor p (finish of its last appended task).
+  CTime proc_avail(ProcId p) const noexcept {
+    PARABB_ASSERT(p >= 0 && p < kMaxProcs);
+    return avail_[static_cast<std::size_t>(p)];
+  }
+
+  /// l_min: the earliest time at which any new task could start on any
+  /// processor — the adaptive term of the LB1 lower bound.
+  CTime min_proc_avail(const SchedContext& ctx) const noexcept;
+
+  /// Start time the scheduling operation would give task t on processor p.
+  /// Requires every direct predecessor of t to be scheduled.
+  CTime earliest_start(const SchedContext& ctx, TaskId t,
+                       ProcId p) const noexcept;
+
+  /// Applies the scheduling operation: places ready task t on processor p.
+  /// Returns the assigned start time. Updates the ready set.
+  CTime place(const SchedContext& ctx, TaskId t, ProcId p) noexcept;
+
+  /// Max lateness over the *scheduled* prefix (kTimeNegInf when empty).
+  Time max_lateness_scheduled(const SchedContext& ctx) const noexcept;
+
+  friend bool operator==(const PartialSchedule& a,
+                         const PartialSchedule& b) noexcept;
+
+ private:
+  TaskSet scheduled_{};
+  TaskSet ready_{};
+  std::array<CTime, kMaxTasks> start_{};
+  std::array<CTime, kMaxProcs> avail_{};
+  std::array<std::int8_t, kMaxTasks> proc_{};
+  std::array<std::int8_t, kMaxTasks> missing_preds_{};
+  std::int16_t count_ = 0;
+};
+
+}  // namespace parabb

@@ -1,0 +1,106 @@
+#include "parabb/sched/schedule_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace parabb {
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& msg) {
+  throw std::runtime_error("schedule parse error at line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+Time parse_attr(const std::string& token, const char* key, int line) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0)
+    parse_fail(line, "expected " + prefix + "<int>, got " + token);
+  try {
+    std::size_t pos = 0;
+    const std::string value = token.substr(prefix.size());
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) parse_fail(line, "bad integer: " + value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    parse_fail(line, "bad integer in " + token);
+  } catch (const std::out_of_range&) {
+    parse_fail(line, "integer out of range in " + token);
+  }
+}
+
+}  // namespace
+
+std::string schedule_to_text(const Schedule& schedule,
+                             const TaskGraph& graph) {
+  PARABB_REQUIRE(schedule.task_count() == graph.task_count(),
+                 "schedule/graph task count mismatch");
+  std::ostringstream os;
+  os << "# parabb schedule: " << schedule.task_count() << " tasks\n";
+  for (TaskId t = 0; t < schedule.task_count(); ++t) {
+    const ScheduledTask& e = schedule.entry(t);
+    os << "sched " << graph.task(t).name << " proc=" << e.proc
+       << " start=" << e.start << " finish=" << e.finish << '\n';
+  }
+  return os.str();
+}
+
+Schedule schedule_from_text(const std::string& text,
+                            const TaskGraph& graph) {
+  std::map<std::string, TaskId> by_name;
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    by_name[graph.task(t).name] = t;
+  }
+
+  std::vector<ScheduledTask> entries;
+  std::vector<char> seen(static_cast<std::size_t>(graph.task_count()), 0);
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    if (kind != "sched") parse_fail(lineno, "unknown record: " + kind);
+    std::string name, proc_tok, start_tok, finish_tok;
+    if (!(ls >> name >> proc_tok >> start_tok >> finish_tok))
+      parse_fail(lineno, "sched needs: name proc= start= finish=");
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) parse_fail(lineno, "unknown task: " + name);
+    const auto ut = static_cast<std::size_t>(it->second);
+    if (seen[ut]) parse_fail(lineno, "duplicate task: " + name);
+    seen[ut] = 1;
+    ScheduledTask e;
+    e.task = it->second;
+    e.proc = static_cast<ProcId>(parse_attr(proc_tok, "proc", lineno));
+    e.start = parse_attr(start_tok, "start", lineno);
+    e.finish = parse_attr(finish_tok, "finish", lineno);
+    entries.push_back(e);
+  }
+  if (static_cast<int>(entries.size()) != graph.task_count()) {
+    throw std::runtime_error(
+        "schedule covers " + std::to_string(entries.size()) + " of " +
+        std::to_string(graph.task_count()) + " tasks");
+  }
+  return Schedule::from_entries(graph.task_count(), std::move(entries));
+}
+
+void save_schedule(const Schedule& schedule, const TaskGraph& graph,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << schedule_to_text(schedule, graph);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Schedule load_schedule(const std::string& path, const TaskGraph& graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return schedule_from_text(buf.str(), graph);
+}
+
+}  // namespace parabb

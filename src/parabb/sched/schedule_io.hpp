@@ -1,0 +1,31 @@
+// Schedule serialization: a line-oriented text format for persisting and
+// exchanging schedules (pairs with the TGF task-graph format).
+//
+//   # comments and blank lines ignored
+//   sched <task-name> proc=<int> start=<int> finish=<int>
+//
+// Reading resolves task names against a graph and validates coverage.
+#pragma once
+
+#include <string>
+
+#include "parabb/sched/schedule.hpp"
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+/// Serializes `schedule` using `graph`'s task names.
+std::string schedule_to_text(const Schedule& schedule,
+                             const TaskGraph& graph);
+
+/// Parses a schedule document against `graph`. Throws std::runtime_error
+/// with a line-numbered message on malformed input, unknown or duplicate
+/// task names, or incomplete coverage.
+Schedule schedule_from_text(const std::string& text, const TaskGraph& graph);
+
+/// Convenience file wrappers.
+void save_schedule(const Schedule& schedule, const TaskGraph& graph,
+                   const std::string& path);
+Schedule load_schedule(const std::string& path, const TaskGraph& graph);
+
+}  // namespace parabb

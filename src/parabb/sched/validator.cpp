@@ -1,0 +1,87 @@
+#include "parabb/sched/validator.hpp"
+
+#include <sstream>
+
+namespace parabb {
+namespace {
+
+std::string describe(const TaskGraph& g, TaskId t) {
+  const std::string& n = g.task(t).name;
+  return n.empty() ? "task#" + std::to_string(t) : n;
+}
+
+}  // namespace
+
+ValidationReport validate_schedule(const Schedule& s, const TaskGraph& graph,
+                                   const Machine& machine) {
+  ValidationReport report;
+  std::ostringstream err;
+
+  if (s.task_count() != graph.task_count()) {
+    report.error = "schedule/graph task count mismatch";
+    return report;
+  }
+
+  // Structure: durations, processor range, arrival times.
+  for (TaskId t = 0; t < s.task_count(); ++t) {
+    const ScheduledTask& e = s.entry(t);
+    if (e.proc < 0 || e.proc >= machine.procs) {
+      err << describe(graph, t) << ": processor " << e.proc
+          << " out of range";
+      report.error = err.str();
+      return report;
+    }
+    if (e.finish != e.start + graph.task(t).exec) {
+      err << describe(graph, t) << ": finish != start + exec";
+      report.error = err.str();
+      return report;
+    }
+    if (e.start < graph.task(t).arrival()) {
+      err << describe(graph, t) << ": starts before its arrival time";
+      report.error = err.str();
+      return report;
+    }
+  }
+
+  // No overlap on any processor (non-preemptive exclusive execution).
+  for (ProcId p = 0; p < machine.procs; ++p) {
+    const auto seq = s.proc_sequence(p);
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (seq[i].start < seq[i - 1].finish) {
+        err << describe(graph, seq[i].task) << " overlaps "
+            << describe(graph, seq[i - 1].task) << " on P" << p;
+        report.error = err.str();
+        return report;
+      }
+    }
+  }
+
+  // Precedence + nominal communication delay (hop-scaled on topologies).
+  for (const Channel& c : graph.arcs()) {
+    const ScheduledTask& from = s.entry(c.from);
+    const ScheduledTask& to = s.entry(c.to);
+    const Time comm = machine.comm_delay(from.proc, to.proc, c.items);
+    if (to.start < from.finish + comm) {
+      err << describe(graph, c.to) << " starts before "
+          << describe(graph, c.from) << " finishes (+comm " << comm << ")";
+      report.error = err.str();
+      return report;
+    }
+  }
+
+  report.structurally_sound = true;
+
+  // Deadlines (condition (i) second half).
+  for (TaskId t = 0; t < s.task_count(); ++t) {
+    if (s.entry(t).finish > graph.task(t).abs_deadline()) {
+      err << describe(graph, t) << " misses its deadline";
+      report.error = err.str();
+      report.deadlines_met = false;
+      return report;
+    }
+  }
+  report.deadlines_met = true;
+  return report;
+}
+
+}  // namespace parabb

@@ -1,0 +1,35 @@
+// Schedule validity checking (paper §2.2): a schedule is *valid* iff
+//  (i)  s_i >= a_i and f_i <= D_i for every task, and
+//  (ii) every precedence constraint is met, including the nominal
+//       cross-processor communication delay.
+// We additionally check the structural properties any output of the
+// scheduling operation must have: f_i = s_i + c_i, no overlap on a
+// processor, and processor ids within range.
+//
+// Deadline satisfaction can be toggled off (`require_deadlines = false`)
+// because the B&B minimizes lateness even when the task set is infeasible —
+// a best schedule may be structurally sound yet miss deadlines.
+#pragma once
+
+#include <string>
+
+#include "parabb/platform/machine.hpp"
+#include "parabb/sched/schedule.hpp"
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+struct ValidationReport {
+  bool structurally_sound = false;  ///< (ii) + structure, ignoring deadlines
+  bool deadlines_met = false;       ///< (i) second half
+  std::string error;                ///< first violation found, empty if none
+
+  /// Paper's "valid schedule": both of the above.
+  bool valid() const noexcept { return structurally_sound && deadlines_met; }
+};
+
+/// Checks `s` against `graph` on `machine`.
+ValidationReport validate_schedule(const Schedule& s, const TaskGraph& graph,
+                                   const Machine& machine);
+
+}  // namespace parabb

@@ -1,0 +1,161 @@
+#include "parabb/support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  PARABB_REQUIRE(!opts_.contains(name), "duplicate option: " + name);
+  opts_[name] = Opt{help, default_value, false, false, default_value};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  PARABB_REQUIRE(!opts_.contains(name), "duplicate flag: " + name);
+  opts_[name] = Opt{help, "", true, false, ""};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+      throw std::runtime_error("unknown option: --" + name);
+    Opt& opt = it->second;
+    opt.present = true;
+    if (opt.is_flag) {
+      if (has_value)
+        throw std::runtime_error("flag --" + name + " takes no value");
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        throw std::runtime_error("option --" + name + " needs a value");
+      value = argv[++i];
+    }
+    opt.value = std::move(value);
+  }
+  return true;
+}
+
+const ArgParser::Opt& ArgParser::find(const std::string& name) const {
+  auto it = opts_.find(name);
+  PARABB_REQUIRE(it != opts_.end(), "undeclared option queried: " + name);
+  return it->second;
+}
+
+bool ArgParser::has_flag(const std::string& name) const {
+  const Opt& o = find(name);
+  PARABB_REQUIRE(o.is_flag, "--" + name + " is not a flag");
+  return o.present;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  const Opt& o = find(name);
+  PARABB_REQUIRE(!o.is_flag, "--" + name + " is a flag");
+  return o.value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::runtime_error("option --" + name + ": not an integer: " + v);
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::runtime_error("option --" + name + ": not a number: " + v);
+  }
+}
+
+namespace {
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+}  // namespace
+
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& name) const {
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_commas(get_string(name))) {
+    try {
+      out.push_back(std::stoll(part));
+    } catch (const std::exception&) {
+      throw std::runtime_error("option --" + name +
+                               ": bad integer list element: " + part);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ArgParser::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& part : split_commas(get_string(name))) {
+    try {
+      out.push_back(std::stod(part));
+    } catch (const std::exception&) {
+      throw std::runtime_error("option --" + name +
+                               ": bad number list element: " + part);
+    }
+  }
+  return out;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Opt& o = opts_.at(name);
+    os << "  --" << name;
+    if (!o.is_flag) os << " <value>";
+    os << "\n      " << o.help;
+    if (!o.is_flag && !o.default_value.empty())
+      os << " (default: " << o.default_value << ")";
+    os << '\n';
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace parabb

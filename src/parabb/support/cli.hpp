@@ -1,0 +1,62 @@
+// Minimal command-line option parser for benches and examples.
+//
+// Supports:  --name value   --name=value   --flag   (plus -h/--help)
+// Unknown options are an error; positional arguments are collected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parabb {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare a value option. `help` is shown by --help.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+  /// Declare a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text printed
+  /// to stdout); throws std::runtime_error on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  /// Comma-separated list of integers, e.g. "2,3,4".
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+  /// Comma-separated list of doubles.
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  std::string help_text() const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+    bool present = false;
+    std::string value;
+  };
+
+  const Opt& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parabb

@@ -1,0 +1,138 @@
+// InlineVector: fixed-capacity vector with inline storage.
+//
+// Used for per-vertex child lists and per-processor task chains on the
+// search hot path, where heap allocation per vertex would dominate runtime.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+template <typename T, std::size_t N>
+class InlineVector {
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVector() noexcept = default;
+
+  InlineVector(std::initializer_list<T> init) {
+    PARABB_ASSERT(init.size() <= N);
+    for (const T& v : init) push_back(v);
+  }
+
+  InlineVector(const InlineVector& other) {
+    for (const T& v : other) push_back(v);
+  }
+
+  InlineVector(InlineVector&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    for (T& v : other) push_back(std::move(v));
+    other.clear();
+  }
+
+  InlineVector& operator=(const InlineVector& other) {
+    if (this != &other) {
+      clear();
+      for (const T& v : other) push_back(v);
+    }
+    return *this;
+  }
+
+  InlineVector& operator=(InlineVector&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      clear();
+      for (T& v : other) push_back(std::move(v));
+      other.clear();
+    }
+    return *this;
+  }
+
+  ~InlineVector() { clear(); }
+
+  static constexpr std::size_t capacity() noexcept { return N; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == N; }
+
+  T& operator[](std::size_t i) noexcept {
+    PARABB_ASSERT(i < size_);
+    return *ptr(i);
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    PARABB_ASSERT(i < size_);
+    return *ptr(i);
+  }
+
+  T& front() noexcept { return (*this)[0]; }
+  const T& front() const noexcept { return (*this)[0]; }
+  T& back() noexcept { return (*this)[size_ - 1]; }
+  const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    PARABB_ASSERT(size_ < N);
+    T* slot = ptr(size_);
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() noexcept {
+    PARABB_ASSERT(size_ > 0);
+    --size_;
+    ptr(size_)->~T();
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) pop_back();
+  }
+
+  void resize(std::size_t n)
+    requires std::is_default_constructible_v<T>
+  {
+    PARABB_ASSERT(n <= N);
+    while (size_ > n) pop_back();
+    while (size_ < n) emplace_back();
+  }
+
+  iterator begin() noexcept { return ptr(0); }
+  iterator end() noexcept { return ptr(size_); }
+  const_iterator begin() const noexcept { return ptr(0); }
+  const_iterator end() const noexcept { return ptr(size_); }
+
+  friend bool operator==(const InlineVector& a, const InlineVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (!(a[i] == b[i])) return false;
+    return true;
+  }
+
+ private:
+  T* ptr(std::size_t i) noexcept {
+    return std::launder(reinterpret_cast<T*>(storage_.data())) + i;
+  }
+  const T* ptr(std::size_t i) const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_.data())) + i;
+  }
+
+  alignas(T) std::array<std::byte, N * sizeof(T)> storage_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parabb

@@ -1,0 +1,140 @@
+// SlotPool: chunked fixed-size-slot allocator with free-list recycling and
+// per-slot generation counters.
+//
+// Branch-and-bound vertices are allocated and pruned at very high rates and
+// are referenced lazily from active-set containers (a heap may hold handles
+// to vertices that U/DBAS already pruned). The generation counter lets a
+// container detect stale handles in O(1) instead of the engine eagerly
+// deleting heap entries (which would be O(n) per prune).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+/// Handle to a pool slot: index + generation stamp captured at allocation.
+struct SlotRef {
+  std::uint32_t index = 0;
+  std::uint32_t generation = 0;
+
+  friend bool operator==(SlotRef, SlotRef) = default;
+};
+
+class SlotPool {
+ public:
+  /// `slot_bytes` is the payload size; `slots_per_chunk` tunes allocation
+  /// granularity (chunks are never freed until the pool is destroyed or
+  /// reset, so handles stay stable).
+  explicit SlotPool(std::size_t slot_bytes, std::size_t slots_per_chunk = 4096)
+      : payload_bytes_(align_up(slot_bytes)),
+        slots_per_chunk_(slots_per_chunk) {
+    PARABB_REQUIRE(slot_bytes > 0, "slot size must be positive");
+    PARABB_REQUIRE(slots_per_chunk > 0, "chunk size must be positive");
+  }
+
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  /// Allocate a slot; payload contents are uninitialized.
+  SlotRef allocate() {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      if (next_fresh_ == capacity_) grow();
+      idx = next_fresh_++;
+    }
+    ++live_;
+    return SlotRef{idx, generation(idx)};
+  }
+
+  /// Release a slot; bumps its generation so stale handles become invalid.
+  void release(SlotRef ref) {
+    PARABB_ASSERT(is_live(ref));
+    ++generation(ref.index);
+    free_.push_back(ref.index);
+    PARABB_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  /// True iff `ref` still refers to the allocation it was created by.
+  bool is_live(SlotRef ref) const noexcept {
+    return ref.index < next_fresh_ && generation(ref.index) == ref.generation;
+  }
+
+  /// Payload pointer. Asserts the handle is live.
+  void* get(SlotRef ref) noexcept {
+    PARABB_ASSERT(is_live(ref));
+    return payload(ref.index);
+  }
+  const void* get(SlotRef ref) const noexcept {
+    PARABB_ASSERT(is_live(ref));
+    return payload(ref.index);
+  }
+
+  std::size_t live_count() const noexcept { return live_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t slot_bytes() const noexcept { return payload_bytes_; }
+
+  /// Approximate resident bytes (payload chunks + bookkeeping).
+  std::size_t memory_bytes() const noexcept {
+    return capacity_ * payload_bytes_ + generations_.capacity() * 4 +
+           free_.capacity() * 4;
+  }
+
+  /// Drop every allocation but keep the chunks (invalidates all handles;
+  /// fresh allocation restarts from slot 0).
+  void reset() noexcept {
+    for (auto& g : generations_) ++g;
+    free_.clear();
+    next_fresh_ = 0;
+    live_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t align_up(std::size_t n) noexcept {
+    constexpr std::size_t a = alignof(std::max_align_t);
+    return (n + a - 1) / a * a;
+  }
+
+  void grow() {
+    auto chunk = std::make_unique<std::byte[]>(payload_bytes_ *
+                                               slots_per_chunk_);
+    chunks_.push_back(std::move(chunk));
+    capacity_ += slots_per_chunk_;
+    generations_.resize(capacity_, 0);
+  }
+
+  std::byte* payload(std::uint32_t idx) noexcept {
+    return chunks_[idx / slots_per_chunk_].get() +
+           payload_bytes_ * (idx % slots_per_chunk_);
+  }
+  const std::byte* payload(std::uint32_t idx) const noexcept {
+    return chunks_[idx / slots_per_chunk_].get() +
+           payload_bytes_ * (idx % slots_per_chunk_);
+  }
+
+  std::uint32_t& generation(std::uint32_t idx) noexcept {
+    return generations_[idx];
+  }
+  std::uint32_t generation(std::uint32_t idx) const noexcept {
+    return generations_[idx];
+  }
+
+  std::size_t payload_bytes_;
+  std::size_t slots_per_chunk_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::uint32_t> generations_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_fresh_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace parabb

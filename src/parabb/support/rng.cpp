@@ -1,0 +1,10 @@
+#include "parabb/support/rng.hpp"
+
+// Header-only today; this TU pins the library target and provides a home for
+// any future out-of-line additions (e.g. jump functions for parallel streams).
+namespace parabb {
+namespace {
+[[maybe_unused]] constexpr std::uint64_t kSelfTest = derive_seed(1, 2);
+static_assert(kSelfTest != 0, "derive_seed must mix to a nonzero value");
+}  // namespace
+}  // namespace parabb

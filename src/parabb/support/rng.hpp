@@ -1,0 +1,133 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be exactly reproducible from a single 64-bit seed across
+// platforms, so we implement xoshiro256** (Blackman & Vigna) seeded through
+// SplitMix64 rather than relying on implementation-defined std::
+// distributions. All distribution helpers below are specified exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+/// SplitMix64: used to expand a single seed into xoshiro state, and as a
+/// cheap stateless mixer for deriving per-instance seeds from (base, index).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mix (base_seed, stream_index) into an independent-looking 64-bit seed.
+/// Used to give every replication of every experiment cell its own stream.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::uint64_t stream) noexcept {
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return sm.next();
+}
+
+/// xoshiro256**: fast, high-quality, 256-bit state general-purpose PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive, unbiased (Lemire rejection).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    PARABB_ASSERT(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+    return lo + static_cast<std::int64_t>(bounded(range));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept {
+    PARABB_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Pick a uniformly random element index for a container of size n >= 1.
+  std::size_t index(std::size_t n) noexcept {
+    PARABB_ASSERT(n >= 1);
+    return static_cast<std::size_t>(bounded(n));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Unbiased uniform in [0, bound), bound >= 1.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift with rejection.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace parabb

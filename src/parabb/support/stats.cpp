@@ -1,0 +1,109 @@
+#include "parabb/support/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace parabb {
+namespace {
+
+struct TRow {
+  std::size_t df;
+  double t90, t95, t99;
+};
+
+// Two-sided critical values (alpha/2 upper quantiles).
+constexpr std::array<TRow, 18> kTTable{{
+    {1, 6.314, 12.706, 63.657},
+    {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},
+    {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},
+    {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},
+    {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},
+    {10, 1.812, 2.228, 3.169},
+    {12, 1.782, 2.179, 3.055},
+    {15, 1.753, 2.131, 2.947},
+    {20, 1.725, 2.086, 2.845},
+    {25, 1.708, 2.060, 2.787},
+    {30, 1.697, 2.042, 2.750},
+    {40, 1.684, 2.021, 2.704},
+    {60, 1.671, 2.000, 2.660},
+    {120, 1.658, 1.980, 2.617},
+}};
+
+double pick(const TRow& row, double confidence) {
+  if (confidence == 0.90) return row.t90;
+  if (confidence == 0.95) return row.t95;
+  return row.t99;
+}
+
+double asymptote(double confidence) {
+  if (confidence == 0.90) return 1.645;
+  if (confidence == 0.95) return 1.960;
+  return 2.576;
+}
+
+}  // namespace
+
+double t_critical(double confidence, std::size_t df) {
+  PARABB_REQUIRE(confidence == 0.90 || confidence == 0.95 ||
+                     confidence == 0.99,
+                 "supported confidence levels: 0.90, 0.95, 0.99");
+  PARABB_REQUIRE(df >= 1, "t distribution needs df >= 1");
+  if (df > kTTable.back().df) return asymptote(confidence);
+  // Exact row or linear interpolation in 1/df between bracketing rows.
+  for (std::size_t i = 0; i < kTTable.size(); ++i) {
+    if (kTTable[i].df == df) return pick(kTTable[i], confidence);
+    if (kTTable[i].df > df) {
+      const TRow& lo = kTTable[i - 1];
+      const TRow& hi = kTTable[i];
+      const double x = 1.0 / static_cast<double>(df);
+      const double xl = 1.0 / static_cast<double>(lo.df);
+      const double xh = 1.0 / static_cast<double>(hi.df);
+      const double w = (x - xh) / (xl - xh);
+      return pick(hi, confidence) +
+             w * (pick(lo, confidence) - pick(hi, confidence));
+    }
+  }
+  return asymptote(confidence);
+}
+
+double ci_halfwidth(const OnlineStats& s, double confidence) {
+  if (s.count() < 2) return std::numeric_limits<double>::infinity();
+  return t_critical(confidence, s.count() - 1) * s.sem();
+}
+
+bool ci_converged(const OnlineStats& s, double confidence, double rel_err,
+                  double abs_floor) {
+  if (s.count() < 2) return false;
+  const double hw = ci_halfwidth(s, confidence);
+  const double scale = std::max(std::abs(s.mean()), abs_floor);
+  return hw <= rel_err * scale;
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  PARABB_REQUIRE(!xs.empty(), "geometric_mean of empty set");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    PARABB_REQUIRE(x > 0.0, "geometric_mean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  PARABB_REQUIRE(!xs.empty(), "percentile of empty set");
+  PARABB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace parabb

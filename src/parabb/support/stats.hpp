@@ -1,0 +1,96 @@
+// Online statistics and Student-t confidence intervals.
+//
+// The paper's stopping rule: replications were added until a 90 % (95 %)
+// confidence interval had half-width within 10 % (0.5 %) of the mean for the
+// searched-vertices (lateness) metric. OnlineStats + ci_halfwidth implement
+// exactly that machinery.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+/// Welford single-pass accumulator for mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const OnlineStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    mean_ = (na * mean_ + nb * other.mean_) / nt;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance (0 when n < 2).
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  double sem() const noexcept {
+    return n_ < 1 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value t_{alpha/2, df} for confidence level
+/// `confidence` in {0.90, 0.95, 0.99}; other levels are rejected.
+/// Implemented by table + asymptotic interpolation (no external deps).
+double t_critical(double confidence, std::size_t df);
+
+/// Half-width of the `confidence` CI for the mean of `s`.
+/// Returns +inf when fewer than 2 samples.
+double ci_halfwidth(const OnlineStats& s, double confidence);
+
+/// True once the CI half-width is within `rel_err` * |mean| (the paper's
+/// stopping criterion). A mean of exactly zero is handled with an absolute
+/// floor `abs_floor`.
+bool ci_converged(const OnlineStats& s, double confidence, double rel_err,
+                  double abs_floor = 1e-9);
+
+/// Geometric mean of strictly positive samples (used for vertex-count
+/// summaries across heterogeneous instances, reported alongside the paper's
+/// arithmetic means).
+double geometric_mean(const std::vector<double>& xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation; copies input.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace parabb

@@ -1,0 +1,130 @@
+#include "parabb/support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  // Heuristic: right-align cells that are mostly digits/number punctuation.
+  return digits * 2 >= s.size();
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  PARABB_REQUIRE(!header.empty(), "header must be non-empty");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PARABB_REQUIRE(header_.empty() || row.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  const std::size_t cols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                      : header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_)
+    if (!row.empty()) widen(row);
+
+  std::size_t total = cols == 0 ? 0 : 2 * (cols - 1);
+  for (std::size_t w : width) total += w;
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, bool force_left) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = !force_left && looks_numeric(row[c]);
+      const std::size_t pad = width[c] - row[c].size();
+      if (right) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_, /*force_left=*/true);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) os << std::string(total, '-') << '\n';
+    else emit(row, /*force_left=*/false);
+  }
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_)
+    if (!row.empty()) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string fmt_ci(double mean, double halfwidth, int digits) {
+  return fmt_double(mean, digits) + " ±" + fmt_double(halfwidth, digits);
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace parabb

@@ -1,0 +1,44 @@
+// Aligned text tables and CSV output for experiment reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parabb {
+
+/// Column-aligned monospace table (paper-style report rows).
+class TextTable {
+ public:
+  /// Sets the header row and fixes the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with 2-space column gaps; numeric-looking cells right-aligned.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing , " or newline).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats "mean ± halfwidth".
+std::string fmt_ci(double mean, double halfwidth, int digits = 2);
+
+/// Writes `text` to `path`; throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace parabb

@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch used for RB.TIMELIMIT enforcement and
+// informational timing in benches.
+#pragma once
+
+#include <chrono>
+
+namespace parabb {
+
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last restart.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::chrono::nanoseconds elapsed() const noexcept {
+    return clock::now() - start_;
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace parabb

@@ -1,0 +1,55 @@
+#include "parabb/taskgraph/builder.hpp"
+
+#include <map>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+GraphBuilder& GraphBuilder::task(std::string name, Time exec,
+                                 Time rel_deadline, Time phase, Time period) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.rel_deadline = rel_deadline;
+  t.phase = phase;
+  t.period = period;
+  tasks_.push_back(std::move(t));
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::arc(const std::string& from, const std::string& to,
+                                Time items) {
+  arcs_.push_back(PendingArc{from, to, items});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::chain(std::initializer_list<std::string> names,
+                                  Time items) {
+  PARABB_REQUIRE(names.size() >= 2, "chain needs at least two tasks");
+  const std::string* prev = nullptr;
+  for (const auto& name : names) {
+    if (prev != nullptr) arc(*prev, name, items);
+    prev = &name;
+  }
+  return *this;
+}
+
+TaskGraph GraphBuilder::build() const {
+  TaskGraph g;
+  std::map<std::string, TaskId> by_name;
+  for (const Task& t : tasks_) {
+    PARABB_REQUIRE(!by_name.contains(t.name), "duplicate task: " + t.name);
+    by_name[t.name] = g.add_task(t);
+  }
+  for (const PendingArc& a : arcs_) {
+    PARABB_REQUIRE(by_name.contains(a.from), "unknown task: " + a.from);
+    PARABB_REQUIRE(by_name.contains(a.to), "unknown task: " + a.to);
+    g.add_arc(by_name.at(a.from), by_name.at(a.to), a.items);
+  }
+  const std::string err = g.validate();
+  PARABB_REQUIRE(err.empty(), "invalid graph: " + err);
+  return g;
+}
+
+}  // namespace parabb

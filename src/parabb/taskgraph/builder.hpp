@@ -1,0 +1,42 @@
+// GraphBuilder: fluent construction of hand-written task graphs, used by
+// tests and examples. Tasks are referred to by name; arcs may be declared
+// before both endpoints exist and are resolved at build().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+class GraphBuilder {
+ public:
+  /// Declares a task. Deadline/phase may be filled in later by a deadline
+  /// assigner; defaults leave them 0.
+  GraphBuilder& task(std::string name, Time exec, Time rel_deadline = 0,
+                     Time phase = 0, Time period = 0);
+
+  /// Declares an arc `from -> to` carrying `items` data items.
+  GraphBuilder& arc(const std::string& from, const std::string& to,
+                    Time items = 0);
+
+  /// Declares a chain of arcs a -> b -> c ... each carrying `items`.
+  GraphBuilder& chain(std::initializer_list<std::string> names,
+                      Time items = 0);
+
+  /// Resolves names and returns the graph. Throws precondition_error on
+  /// unknown names, duplicate tasks, or a resulting cycle.
+  TaskGraph build() const;
+
+ private:
+  struct PendingArc {
+    std::string from, to;
+    Time items;
+  };
+
+  std::vector<Task> tasks_;
+  std::vector<PendingArc> arcs_;
+};
+
+}  // namespace parabb

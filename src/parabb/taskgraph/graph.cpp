@@ -1,0 +1,105 @@
+#include "parabb/taskgraph/graph.hpp"
+
+#include <algorithm>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+TaskId TaskGraph::add_task(Task task) {
+  PARABB_REQUIRE(task.exec >= 0, "task execution time must be >= 0");
+  PARABB_REQUIRE(task.period >= 0, "task period must be >= 0");
+  tasks_.push_back(std::move(task));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_arc(TaskId from, TaskId to, Time items) {
+  check_task(from);
+  check_task(to);
+  PARABB_REQUIRE(from != to, "precedence is irreflexive");
+  PARABB_REQUIRE(items >= 0, "message size must be >= 0");
+  const auto& out = succs_[static_cast<std::size_t>(from)];
+  const bool dup = std::any_of(out.begin(), out.end(),
+                               [to](const Arc& a) { return a.other == to; });
+  PARABB_REQUIRE(!dup, "duplicate arc");
+  arcs_.push_back(Channel{from, to, items});
+  succs_[static_cast<std::size_t>(from)].push_back(Arc{to, items});
+  preds_[static_cast<std::size_t>(to)].push_back(Arc{from, items});
+}
+
+const Task& TaskGraph::task(TaskId t) const {
+  check_task(t);
+  return tasks_[static_cast<std::size_t>(t)];
+}
+
+Task& TaskGraph::task(TaskId t) {
+  check_task(t);
+  return tasks_[static_cast<std::size_t>(t)];
+}
+
+std::span<const Arc> TaskGraph::preds(TaskId t) const {
+  check_task(t);
+  return preds_[static_cast<std::size_t>(t)];
+}
+
+std::span<const Arc> TaskGraph::succs(TaskId t) const {
+  check_task(t);
+  return succs_[static_cast<std::size_t>(t)];
+}
+
+Time TaskGraph::items_on_arc(TaskId from, TaskId to) const {
+  for (const Arc& a : succs(from)) {
+    if (a.other == to) return a.items;
+  }
+  return kTimeNegInf;
+}
+
+Time TaskGraph::total_work() const noexcept {
+  Time sum = 0;
+  for (const Task& t : tasks_) sum += t.exec;
+  return sum;
+}
+
+bool TaskGraph::is_acyclic() const {
+  // Kahn's algorithm: a DAG is fully consumable by repeated source removal.
+  const auto n = static_cast<std::size_t>(task_count());
+  std::vector<int> indeg(n, 0);
+  for (std::size_t t = 0; t < n; ++t)
+    indeg[t] = static_cast<int>(preds_[t].size());
+  std::vector<TaskId> stack;
+  for (std::size_t t = 0; t < n; ++t)
+    if (indeg[t] == 0) stack.push_back(static_cast<TaskId>(t));
+  std::size_t seen = 0;
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (const Arc& a : succs_[static_cast<std::size_t>(t)]) {
+      if (--indeg[static_cast<std::size_t>(a.other)] == 0)
+        stack.push_back(a.other);
+    }
+  }
+  return seen == n;
+}
+
+std::string TaskGraph::validate() const {
+  if (!is_acyclic()) return "graph contains a directed cycle";
+  for (int i = 0; i < task_count(); ++i) {
+    const Task& t = tasks_[static_cast<std::size_t>(i)];
+    if (t.exec < 0) return "negative execution time on task " + t.name;
+    if (t.rel_deadline < 0) return "negative relative deadline on " + t.name;
+    if (t.period > 0 && t.rel_deadline > t.period)
+      return "d_i > T_i violates the non-overlapping-window model (" +
+             t.name + ")";
+  }
+  return {};
+}
+
+void TaskGraph::check_task(TaskId t) const {
+  PARABB_REQUIRE(t >= 0 && t < task_count(),
+                 "task id out of range: " + std::to_string(t));
+}
+
+}  // namespace parabb

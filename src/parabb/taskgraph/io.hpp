@@ -1,0 +1,31 @@
+// Task graph serialization: a simple line-oriented text format ("TGF") for
+// persistence/round-tripping, and Graphviz DOT export for visualization.
+//
+// TGF format (one record per line, '#' comments, blank lines ignored):
+//   task <name> exec=<int> [deadline=<int>] [phase=<int>] [period=<int>]
+//   arc <from> <to> [items=<int>]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+/// Serializes `graph` in the TGF text format.
+std::string to_tgf(const TaskGraph& graph);
+
+/// Parses a TGF document. Throws std::runtime_error with a line-numbered
+/// message on malformed input; validates the result (acyclicity etc.).
+TaskGraph from_tgf(const std::string& text);
+
+/// Graphviz DOT with execution times as node labels and message sizes as
+/// edge labels.
+std::string to_dot(const TaskGraph& graph);
+
+/// Convenience: write/read a TGF file.
+void save_tgf(const TaskGraph& graph, const std::string& path);
+TaskGraph load_tgf(const std::string& path);
+
+}  // namespace parabb

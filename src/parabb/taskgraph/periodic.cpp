@@ -1,0 +1,74 @@
+#include "parabb/taskgraph/periodic.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+HyperperiodExpansion expand_hyperperiod(const TaskGraph& graph) {
+  const int n = graph.task_count();
+  PARABB_REQUIRE(n > 0, "cannot expand an empty graph");
+
+  Time hyper = 1;
+  for (TaskId t = 0; t < n; ++t) {
+    const Task& task = graph.task(t);
+    PARABB_REQUIRE(task.period > 0,
+                   "task " + task.name + " is aperiodic (period == 0)");
+    PARABB_REQUIRE(task.rel_deadline <= task.period,
+                   "task " + task.name + " violates d_i <= T_i");
+    hyper = std::lcm(hyper, task.period);
+  }
+  for (const Channel& c : graph.arcs()) {
+    PARABB_REQUIRE(graph.task(c.from).period == graph.task(c.to).period,
+                   "connected tasks must share a period (" +
+                       graph.task(c.from).name + " vs " +
+                       graph.task(c.to).name + ")");
+  }
+
+  // All connected components share periods; invocation count may still vary
+  // across components. We keep a per-task count.
+  HyperperiodExpansion out;
+  out.hyperperiod = hyper;
+  out.invocations = 0;
+
+  std::vector<std::vector<TaskId>> job_ids(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    const Task& task = graph.task(t);
+    const auto count = static_cast<int>(hyper / task.period);
+    out.invocations = std::max(out.invocations, count);
+    for (int k = 1; k <= count; ++k) {
+      Task job;
+      job.name = task.name + "#" + std::to_string(k);
+      job.exec = task.exec;
+      job.phase = task.arrival(k);
+      job.rel_deadline = task.rel_deadline;
+      job.period = 0;  // jobs are one-shot
+      job_ids[static_cast<std::size_t>(t)].push_back(
+          out.jobs.add_task(std::move(job)));
+    }
+    // Chain consecutive invocations: tau_i^k ≺ tau_i^{k+1}.
+    for (int k = 1; k < count; ++k) {
+      out.jobs.add_arc(job_ids[static_cast<std::size_t>(t)][
+                           static_cast<std::size_t>(k - 1)],
+                       job_ids[static_cast<std::size_t>(t)][
+                           static_cast<std::size_t>(k)],
+                       0);
+    }
+  }
+
+  for (const Channel& c : graph.arcs()) {
+    const auto& from_jobs = job_ids[static_cast<std::size_t>(c.from)];
+    const auto& to_jobs = job_ids[static_cast<std::size_t>(c.to)];
+    PARABB_ASSERT(from_jobs.size() == to_jobs.size());
+    for (std::size_t k = 0; k < from_jobs.size(); ++k) {
+      out.jobs.add_arc(from_jobs[k], to_jobs[k], c.items);
+    }
+  }
+
+  PARABB_ASSERT(out.jobs.validate().empty());
+  return out;
+}
+
+}  // namespace parabb

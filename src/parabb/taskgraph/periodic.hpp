@@ -1,0 +1,33 @@
+// Hyperperiod job expansion (extension; see DESIGN.md §3.8).
+//
+// The paper's task model is periodic (<c, phi, d, T>) but its evaluation
+// schedules a single frame. This utility unrolls a periodic task graph into
+// the equivalent single-frame job graph over one hyperperiod so the B&B
+// scheduler can be applied to periodic workloads too.
+//
+// Rules:
+//  * every task must have period > 0 and d_i <= T_i (§2.2's
+//    non-overlapping-window assumption);
+//  * precedence-connected tasks must share the same period (rate-matching
+//    across unequal periods is out of scope and rejected);
+//  * job k of tau_i becomes task "<name>#k" with phase phi_i + T_i (k-1);
+//  * each arc (i, j) is replicated per invocation k;
+//  * consecutive invocations of the same task are chained with a zero-items
+//    arc (invocation k must precede invocation k+1).
+#pragma once
+
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+struct HyperperiodExpansion {
+  TaskGraph jobs;     ///< the unrolled job graph
+  Time hyperperiod;   ///< lcm of all task periods
+  int invocations;    ///< jobs per task (= hyperperiod / period, uniform here)
+};
+
+/// Unrolls `graph` over one hyperperiod. Throws precondition_error if any
+/// task is aperiodic, d_i > T_i, or connected tasks have unequal periods.
+HyperperiodExpansion expand_hyperperiod(const TaskGraph& graph);
+
+}  // namespace parabb

@@ -1,0 +1,47 @@
+// Task and communication-channel records (paper §2.2).
+#pragma once
+
+#include <string>
+
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+
+/// A real-time task <c_i, phi_i, d_i, T_i>.
+///
+/// * `exec`        — worst-case execution time c_i (includes architectural
+///                   overheads and message (de)packetizing per §2.2).
+/// * `phase`       — phi_i, earliest time of the first invocation; for the
+///                   single-frame experiments this is the task's arrival a_i.
+/// * `rel_deadline`— d_i, relative deadline; absolute deadline of invocation
+///                   k is a_i^k + d_i.
+/// * `period`      — T_i; 0 means aperiodic / one-shot (single invocation).
+struct Task {
+  Time exec = 0;
+  Time phase = 0;
+  Time rel_deadline = 0;
+  Time period = 0;
+  std::string name;
+
+  /// Arrival time a_i^k of invocation k (1-based), a_i^k = phi + T*(k-1).
+  Time arrival(int k = 1) const noexcept {
+    return phase + period * (k - 1);
+  }
+  /// Absolute deadline D_i^k = a_i^k + d_i.
+  Time abs_deadline(int k = 1) const noexcept {
+    return arrival(k) + rel_deadline;
+  }
+  /// Execution window length |w_i| = d_i.
+  Time window_length() const noexcept { return rel_deadline; }
+};
+
+/// A directed communication channel chi_{i,j} (precedence arc annotation).
+/// `items` is the maximum message size m_{i,j} in data items; the time cost
+/// of the transfer on a given interconnect is CommModel::delay(items).
+struct Channel {
+  TaskId from = kNoTask;
+  TaskId to = kNoTask;
+  Time items = 0;
+};
+
+}  // namespace parabb

@@ -1,0 +1,131 @@
+#include "parabb/taskgraph/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+Topology analyze(const TaskGraph& graph) {
+  PARABB_REQUIRE(graph.is_acyclic(), "analyze() requires an acyclic graph");
+  const int n = graph.task_count();
+  const auto un = static_cast<std::size_t>(n);
+
+  Topology topo;
+  topo.depth.assign(un, 0);
+  topo.bottom_level.assign(un, 0);
+  topo.pref_work.assign(un, 0);
+  topo.suff_work.assign(un, 0);
+
+  // Deterministic Kahn order with a min-heap keyed by task id.
+  {
+    std::vector<int> indeg(un, 0);
+    std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+    for (TaskId t = 0; t < n; ++t) {
+      indeg[static_cast<std::size_t>(t)] =
+          static_cast<int>(graph.preds(t).size());
+      if (indeg[static_cast<std::size_t>(t)] == 0) ready.push(t);
+    }
+    topo.topo_order.reserve(un);
+    while (!ready.empty()) {
+      const TaskId t = ready.top();
+      ready.pop();
+      topo.topo_order.push_back(t);
+      for (const Arc& a : graph.succs(t)) {
+        if (--indeg[static_cast<std::size_t>(a.other)] == 0)
+          ready.push(a.other);
+      }
+    }
+    PARABB_ASSERT(static_cast<int>(topo.topo_order.size()) == n);
+  }
+
+  // Forward passes: depth and exec-weighted prefix.
+  for (const TaskId t : topo.topo_order) {
+    const auto ut = static_cast<std::size_t>(t);
+    for (const Arc& a : graph.preds(t)) {
+      const auto up = static_cast<std::size_t>(a.other);
+      topo.depth[ut] = std::max(topo.depth[ut], topo.depth[up] + 1);
+      topo.pref_work[ut] =
+          std::max(topo.pref_work[ut],
+                   topo.pref_work[up] + graph.task(a.other).exec);
+    }
+  }
+
+  // Backward passes: bottom level and exec-weighted suffix.
+  for (auto it = topo.topo_order.rbegin(); it != topo.topo_order.rend();
+       ++it) {
+    const TaskId t = *it;
+    const auto ut = static_cast<std::size_t>(t);
+    topo.bottom_level[ut] = graph.task(t).exec;
+    for (const Arc& a : graph.succs(t)) {
+      const auto us = static_cast<std::size_t>(a.other);
+      topo.bottom_level[ut] =
+          std::max(topo.bottom_level[ut],
+                   graph.task(t).exec + topo.bottom_level[us]);
+      topo.suff_work[ut] = std::max(topo.suff_work[ut],
+                                    topo.bottom_level[us]);
+    }
+  }
+
+  for (TaskId t = 0; t < n; ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    topo.critical_path =
+        std::max(topo.critical_path,
+                 topo.pref_work[ut] + graph.task(t).exec + topo.suff_work[ut]);
+    topo.level_count = std::max(topo.level_count, topo.depth[ut] + 1);
+    if (graph.is_input(t)) topo.inputs.push_back(t);
+    if (graph.is_output(t)) topo.outputs.push_back(t);
+  }
+  if (n == 0) topo.level_count = 0;
+
+  topo.levels.assign(static_cast<std::size_t>(topo.level_count), {});
+  for (TaskId t = 0; t < n; ++t) {
+    topo.levels[static_cast<std::size_t>(topo.depth[static_cast<std::size_t>(
+                    t)])]
+        .push_back(t);
+  }
+  for (const auto& lvl : topo.levels)
+    topo.width = std::max(topo.width, static_cast<int>(lvl.size()));
+
+  // DFS preorder from inputs (id order), successors visited in id order.
+  {
+    std::vector<char> seen(un, 0);
+    std::vector<TaskId> stack;
+    topo.dfs_order.reserve(un);
+    for (const TaskId root : topo.inputs) {
+      if (seen[static_cast<std::size_t>(root)]) continue;
+      stack.push_back(root);
+      while (!stack.empty()) {
+        const TaskId t = stack.back();
+        stack.pop_back();
+        if (seen[static_cast<std::size_t>(t)]) continue;
+        seen[static_cast<std::size_t>(t)] = 1;
+        topo.dfs_order.push_back(t);
+        // Push successors in reverse id order so the smallest id pops first.
+        auto ss = graph.succs(t);
+        std::vector<TaskId> kids;
+        kids.reserve(ss.size());
+        for (const Arc& a : ss) kids.push_back(a.other);
+        std::sort(kids.begin(), kids.end(), std::greater<>());
+        for (const TaskId k : kids)
+          if (!seen[static_cast<std::size_t>(k)]) stack.push_back(k);
+      }
+    }
+    PARABB_ASSERT(static_cast<int>(topo.dfs_order.size()) == n);
+  }
+
+  // Level priority order: decreasing bottom level, ties by id.
+  topo.level_order.resize(un);
+  for (TaskId t = 0; t < n; ++t)
+    topo.level_order[static_cast<std::size_t>(t)] = t;
+  std::stable_sort(topo.level_order.begin(), topo.level_order.end(),
+                   [&](TaskId a, TaskId b) {
+                     return topo.bottom_level[static_cast<std::size_t>(a)] >
+                            topo.bottom_level[static_cast<std::size_t>(b)];
+                   });
+
+  return topo;
+}
+
+}  // namespace parabb

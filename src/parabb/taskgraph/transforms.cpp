@@ -1,0 +1,168 @@
+#include "parabb/taskgraph/transforms.hpp"
+
+#include <algorithm>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/support/bitset64.hpp"
+#include "parabb/taskgraph/topology.hpp"
+
+namespace parabb {
+namespace {
+
+/// reach[u] = set of tasks reachable from u (excluding u), for graphs with
+/// <= 64 tasks (checked).
+std::vector<TaskSet> reachability(const TaskGraph& graph) {
+  PARABB_REQUIRE(graph.task_count() <= 64,
+                 "reachability supports up to 64 tasks");
+  const Topology topo = analyze(graph);
+  std::vector<TaskSet> reach(static_cast<std::size_t>(graph.task_count()));
+  for (auto it = topo.topo_order.rbegin(); it != topo.topo_order.rend();
+       ++it) {
+    const TaskId u = *it;
+    TaskSet r;
+    for (const Arc& a : graph.succs(u)) {
+      r.insert(a.other);
+      r = r | reach[static_cast<std::size_t>(a.other)];
+    }
+    reach[static_cast<std::size_t>(u)] = r;
+  }
+  return reach;
+}
+
+}  // namespace
+
+TaskGraph transitive_reduction(const TaskGraph& graph) {
+  const std::vector<TaskSet> reach = reachability(graph);
+  TaskGraph out;
+  for (TaskId t = 0; t < graph.task_count(); ++t) out.add_task(graph.task(t));
+  for (const Channel& c : graph.arcs()) {
+    if (c.items > 0) {
+      out.add_arc(c.from, c.to, c.items);  // message arcs always kept
+      continue;
+    }
+    // Redundant iff some *other* successor of `from` reaches `to`.
+    bool redundant = false;
+    for (const Arc& a : graph.succs(c.from)) {
+      if (a.other == c.to) continue;
+      if (reach[static_cast<std::size_t>(a.other)].contains(c.to)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) out.add_arc(c.from, c.to, 0);
+  }
+  return out;
+}
+
+bool same_precedence_closure(const TaskGraph& a, const TaskGraph& b) {
+  if (a.task_count() != b.task_count()) return false;
+  const std::vector<TaskSet> ra = reachability(a);
+  const std::vector<TaskSet> rb = reachability(b);
+  return ra == rb;
+}
+
+ChainClustering cluster_linear_chains(const TaskGraph& graph) {
+  const int n = graph.task_count();
+  ChainClustering out;
+  out.member_of.assign(static_cast<std::size_t>(n), kNoTask);
+
+  // A task is an inner chain link if it has exactly one predecessor and
+  // that predecessor has exactly one successor, and the connecting arc
+  // carries no message.
+  auto merges_into_pred = [&](TaskId t) {
+    if (graph.preds(t).size() != 1) return false;
+    const Arc& up = graph.preds(t)[0];
+    return up.items == 0 && graph.succs(up.other).size() == 1;
+  };
+
+  const Topology topo = analyze(graph);
+  TaskGraph clustered;
+  for (const TaskId t : topo.topo_order) {
+    const auto ut = static_cast<std::size_t>(t);
+    if (merges_into_pred(t)) {
+      const TaskId head =
+          out.member_of[static_cast<std::size_t>(graph.preds(t)[0].other)];
+      PARABB_ASSERT(head != kNoTask);
+      Task& merged = clustered.task(head);
+      merged.exec += graph.task(t).exec;
+      // Conservative window: keep the head's arrival; the merged deadline
+      // is the tightest absolute deadline of any member.
+      if (graph.task(t).rel_deadline > 0 || merged.rel_deadline > 0) {
+        const Time member_abs = graph.task(t).abs_deadline();
+        const Time merged_abs = merged.abs_deadline();
+        const Time abs = merged.rel_deadline > 0
+                             ? std::min(member_abs, merged_abs)
+                             : member_abs;
+        merged.rel_deadline = abs - merged.phase;
+      }
+      merged.name += "+" + graph.task(t).name;
+      out.member_of[ut] = head;
+      ++out.chains_collapsed;
+    } else {
+      out.member_of[ut] = clustered.add_task(graph.task(t));
+    }
+  }
+
+  // Re-wire arcs between distinct clusters (skip intra-chain arcs).
+  for (const Channel& c : graph.arcs()) {
+    const TaskId cf = out.member_of[static_cast<std::size_t>(c.from)];
+    const TaskId ct = out.member_of[static_cast<std::size_t>(c.to)];
+    if (cf == ct) continue;
+    if (clustered.items_on_arc(cf, ct) == kTimeNegInf) {
+      clustered.add_arc(cf, ct, c.items);
+    }
+  }
+  PARABB_ASSERT(clustered.is_acyclic());
+  out.clustered = std::move(clustered);
+  return out;
+}
+
+std::vector<TaskId> critical_path_tasks(const TaskGraph& graph) {
+  PARABB_REQUIRE(graph.task_count() >= 1, "empty graph");
+  const Topology topo = analyze(graph);
+  // Start from a task realizing the critical path, then walk heaviest
+  // predecessors backwards.
+  TaskId cur = 0;
+  for (TaskId t = 0; t < graph.task_count(); ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    const auto uc = static_cast<std::size_t>(cur);
+    if (topo.pref_work[ut] + graph.task(t).exec + topo.suff_work[ut] >
+        topo.pref_work[uc] + graph.task(cur).exec + topo.suff_work[uc]) {
+      cur = t;
+    }
+  }
+  // Walk back to an input.
+  std::vector<TaskId> path{cur};
+  while (!graph.preds(path.back()).empty()) {
+    const TaskId t = path.back();
+    TaskId best = kNoTask;
+    for (const Arc& a : graph.preds(t)) {
+      const auto ua = static_cast<std::size_t>(a.other);
+      if (best == kNoTask ||
+          topo.pref_work[ua] + graph.task(a.other).exec >
+              topo.pref_work[static_cast<std::size_t>(best)] +
+                  graph.task(best).exec) {
+        best = a.other;
+      }
+    }
+    path.push_back(best);
+  }
+  std::reverse(path.begin(), path.end());
+  // Walk forward to an output.
+  while (!graph.succs(path.back()).empty()) {
+    const TaskId t = path.back();
+    TaskId best = kNoTask;
+    for (const Arc& a : graph.succs(t)) {
+      const auto ua = static_cast<std::size_t>(a.other);
+      if (best == kNoTask ||
+          topo.bottom_level[ua] >
+              topo.bottom_level[static_cast<std::size_t>(best)]) {
+        best = a.other;
+      }
+    }
+    path.push_back(best);
+  }
+  return path;
+}
+
+}  // namespace parabb

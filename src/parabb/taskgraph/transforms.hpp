@@ -1,0 +1,49 @@
+// Structural task-graph transformations.
+//
+// Utilities a scheduler front-end typically needs before search:
+//  * transitive reduction — removing precedence arcs implied by longer
+//    paths shrinks the BFn branching work and the LB recursions without
+//    changing the precedence relation (message-carrying arcs are kept:
+//    they change schedule semantics);
+//  * linear-chain clustering — collapsing maximal single-in/single-out
+//    chains into one task is the classic exact-preserving reduction for
+//    non-preemptive scheduling when the chain shares one processor;
+//  * critical-path extraction.
+#pragma once
+
+#include <vector>
+
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+/// Returns a copy of `graph` without arcs (u, v) for which another
+/// u -> ... -> v path exists, unless the arc carries a message
+/// (items > 0), which must be kept for communication-cost semantics.
+/// The result has the same transitive precedence closure.
+TaskGraph transitive_reduction(const TaskGraph& graph);
+
+/// True iff arc-wise reachability of `a` equals that of `b` (same task
+/// count assumed); used to verify reduction correctness.
+bool same_precedence_closure(const TaskGraph& a, const TaskGraph& b);
+
+struct ChainClustering {
+  TaskGraph clustered;
+  /// member_of[original task] = clustered task id.
+  std::vector<TaskId> member_of;
+  int chains_collapsed = 0;
+};
+
+/// Collapses every maximal chain u1 -> u2 -> ... -> uk in which each inner
+/// node has exactly one predecessor and one successor, and no link carries
+/// a message (items == 0), into a single task with the summed execution
+/// time. Phases/deadlines: the head's phase and the tail's absolute
+/// deadline bound the merged window. Intended for workloads *before*
+/// deadline slicing; tasks with assigned windows are merged conservatively.
+ChainClustering cluster_linear_chains(const TaskGraph& graph);
+
+/// Task ids of one heaviest execution-weighted input->output path,
+/// in precedence order.
+std::vector<TaskId> critical_path_tasks(const TaskGraph& graph);
+
+}  // namespace parabb

@@ -1,0 +1,215 @@
+#include "parabb/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/support/types.hpp"
+
+namespace parabb {
+namespace {
+
+/// Level sizes: every level >= 1 task, extras sprinkled randomly while
+/// keeping adjacent levels wireable within the degree bound (see below).
+std::vector<int> pick_level_sizes(Rng& rng, int n, int depth, int degree_max,
+                                  int fixed_width) {
+  if (fixed_width > 0) {
+    PARABB_REQUIRE(n == depth * fixed_width,
+                   "fixed_width requires n == depth * width");
+    return std::vector<int>(static_cast<std::size_t>(depth), fixed_width);
+  }
+  std::vector<int> sizes(static_cast<std::size_t>(depth), 1);
+  int extra = n - depth;
+  // Feasibility invariant kept while growing a level:
+  //  * sizes[l] <= degree_max * sizes[l-1]      (each task needs a pred)
+  //  * sizes[l] <= (degree_max - 1) * sizes[l+1] + slack  — conservatively
+  //    sizes[l] <= (degree_max - 1) * sizes[l+1] so every task can get a
+  //    successor even after the mandatory pred arcs consumed capacity.
+  auto can_grow = [&](std::size_t l) {
+    const int grown = sizes[l] + 1;
+    if (l > 0 && grown > degree_max * sizes[l - 1]) return false;
+    if (l + 1 < sizes.size() && grown > (degree_max - 1) * sizes[l + 1])
+      return false;
+    // Growing level l only tightens l's own constraints (checked above);
+    // neighbours' constraints involve l's size on the permissive side, so
+    // existing feasibility is preserved.
+    return true;
+  };
+  int guard = 64 * (extra + 1);
+  while (extra > 0 && guard-- > 0) {
+    const auto l = rng.index(sizes.size());
+    if (can_grow(l)) {
+      ++sizes[l];
+      --extra;
+    }
+  }
+  PARABB_REQUIRE(extra == 0,
+                 "could not distribute tasks over levels within the degree "
+                 "bound; relax depth or degree_max");
+  return sizes;
+}
+
+}  // namespace
+
+GeneratedGraph generate_graph(const GeneratorConfig& config,
+                              std::uint64_t seed) {
+  PARABB_REQUIRE(config.n_min >= 1 && config.n_min <= config.n_max,
+                 "bad task count range");
+  PARABB_REQUIRE(config.n_max <= kMaxTasks, "n_max exceeds kMaxTasks");
+  PARABB_REQUIRE(config.depth_min >= 1 &&
+                     config.depth_min <= config.depth_max,
+                 "bad depth range");
+  PARABB_REQUIRE(config.degree_max >= 2,
+                 "degree_max must be >= 2 for wireable layered graphs");
+  PARABB_REQUIRE(config.exec_mean >= 1.0, "exec_mean must be >= 1");
+  PARABB_REQUIRE(config.exec_dev >= 0.0 && config.exec_dev <= 0.99,
+                 "exec_dev in [0, 0.99]");
+  PARABB_REQUIRE(config.ccr >= 0.0, "ccr must be >= 0");
+  PARABB_REQUIRE(config.comm_per_item >= 1, "comm_per_item must be >= 1");
+
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.uniform_int(config.n_min, config.n_max));
+  const int depth_cap = std::min(config.depth_max, n);
+  PARABB_REQUIRE(config.depth_min <= depth_cap,
+                 "depth_min exceeds the task count");
+  const int depth =
+      static_cast<int>(rng.uniform_int(config.depth_min, depth_cap));
+
+  const std::vector<int> sizes =
+      pick_level_sizes(rng, n, depth, config.degree_max, config.fixed_width);
+
+  // Materialize tasks level by level; record each task's level.
+  TaskGraph graph;
+  std::vector<std::vector<TaskId>> levels(sizes.size());
+  const Time exec_lo = std::max<Time>(
+      1, std::llround(config.exec_mean * (1.0 - config.exec_dev)));
+  const Time exec_hi = std::max<Time>(
+      exec_lo, std::llround(config.exec_mean * (1.0 + config.exec_dev)));
+  for (std::size_t l = 0; l < sizes.size(); ++l) {
+    for (int k = 0; k < sizes[l]; ++k) {
+      Task t;
+      t.name = "t" + std::to_string(graph.task_count());
+      t.exec = rng.uniform_int(exec_lo, exec_hi);
+      levels[l].push_back(graph.add_task(std::move(t)));
+    }
+  }
+
+  std::vector<int> in_deg(static_cast<std::size_t>(n), 0);
+  std::vector<int> out_deg(static_cast<std::size_t>(n), 0);
+  auto add_arc = [&](TaskId from, TaskId to) {
+    graph.add_arc(from, to, 0);  // items sized after wiring
+    ++out_deg[static_cast<std::size_t>(from)];
+    ++in_deg[static_cast<std::size_t>(to)];
+  };
+
+  // Pass 1 — mandatory predecessor: every task below level 0 is wired to a
+  // uniformly chosen level-(l-1) task that still has successor capacity.
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    for (const TaskId t : levels[l]) {
+      std::vector<TaskId> candidates;
+      for (const TaskId p : levels[l - 1]) {
+        if (out_deg[static_cast<std::size_t>(p)] < config.degree_max)
+          candidates.push_back(p);
+      }
+      PARABB_ASSERT(!candidates.empty());  // by pick_level_sizes invariant
+      add_arc(candidates[rng.index(candidates.size())], t);
+    }
+  }
+
+  // Pass 2 — mandatory successor: a non-last-level task with no successor
+  // is wired to a capacity-bearing task on the next level (fallback: any
+  // deeper level).
+  for (std::size_t l = 0; l + 1 < levels.size(); ++l) {
+    for (const TaskId t : levels[l]) {
+      if (out_deg[static_cast<std::size_t>(t)] > 0) continue;
+      std::vector<TaskId> candidates;
+      for (std::size_t l2 = l + 1; l2 < levels.size() && candidates.empty();
+           ++l2) {
+        for (const TaskId s : levels[l2]) {
+          if (in_deg[static_cast<std::size_t>(s)] < config.degree_max)
+            candidates.push_back(s);
+        }
+      }
+      PARABB_REQUIRE(!candidates.empty(),
+                     "cannot satisfy the successor bound; relax degree_max");
+      add_arc(t, candidates[rng.index(candidates.size())]);
+    }
+  }
+
+  // Pass 3 — optional extra predecessors up to a per-task random target in
+  // 1..degree_max, drawn from any earlier level with successor capacity.
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    for (const TaskId t : levels[l]) {
+      const auto target =
+          static_cast<int>(rng.uniform_int(1, config.degree_max));
+      while (in_deg[static_cast<std::size_t>(t)] < target) {
+        std::vector<TaskId> candidates;
+        for (std::size_t l2 = 0; l2 < l; ++l2) {
+          for (const TaskId p : levels[l2]) {
+            if (out_deg[static_cast<std::size_t>(p)] < config.degree_max &&
+                graph.items_on_arc(p, t) == kTimeNegInf) {
+              candidates.push_back(p);
+            }
+          }
+        }
+        if (candidates.empty()) break;
+        add_arc(candidates[rng.index(candidates.size())], t);
+      }
+    }
+  }
+
+  // Pass 4 — message sizes targeting the CCR: average message cost
+  // (items × per-item delay) should equal ccr × exec_mean.
+  Time total_items = 0;
+  if (config.ccr > 0.0) {
+    const double items_mean =
+        config.ccr * config.exec_mean /
+        static_cast<double>(config.comm_per_item);
+    // Rebuild the graph with sampled item counts (arcs are immutable).
+    TaskGraph sized;
+    for (TaskId t = 0; t < graph.task_count(); ++t)
+      sized.add_task(graph.task(t));
+    for (const Channel& c : graph.arcs()) {
+      const Time items =
+          std::max<Time>(0, std::llround(rng.uniform_real(0.0,
+                                                          2.0 * items_mean)));
+      total_items += items;
+      sized.add_arc(c.from, c.to, items);
+    }
+    graph = std::move(sized);
+  }
+
+  GeneratedGraph out;
+  out.depth = depth;
+  out.width = *std::max_element(sizes.begin(), sizes.end());
+  double exec_sum = 0.0;
+  for (TaskId t = 0; t < graph.task_count(); ++t)
+    exec_sum += static_cast<double>(graph.task(t).exec);
+  out.avg_exec = exec_sum / n;
+  out.achieved_ccr =
+      graph.arc_count() == 0 || out.avg_exec == 0.0
+          ? 0.0
+          : static_cast<double>(total_items) *
+                static_cast<double>(config.comm_per_item) /
+                static_cast<double>(graph.arc_count()) / out.avg_exec;
+  out.graph = std::move(graph);
+  PARABB_ASSERT(out.graph.is_acyclic());
+  return out;
+}
+
+GeneratorConfig paper_config() { return GeneratorConfig{}; }
+
+GeneratorConfig width_config(int levels, int width) {
+  PARABB_REQUIRE(levels >= 1 && width >= 1, "levels and width must be >= 1");
+  PARABB_REQUIRE(levels * width <= kMaxTasks,
+                 "levels * width exceeds kMaxTasks");
+  GeneratorConfig c;
+  c.n_min = c.n_max = levels * width;
+  c.depth_min = c.depth_max = levels;
+  c.fixed_width = width;
+  return c;
+}
+
+}  // namespace parabb

@@ -1,0 +1,61 @@
+// Random task-graph generator reproducing the paper's workload (§4.1):
+//
+//  * 12–16 tasks per graph;
+//  * execution times uniform with mean 20, deviating at most ±99 %;
+//  * graph depth 8–12 levels, every level non-empty;
+//  * per-task successor/predecessor counts in 1..3;
+//  * message sizes chosen so the communication-to-computation ratio (CCR)
+//    — average message communication cost over average task execution
+//    time — matches a target (paper default 1.0).
+//
+// Determinism: the same config + seed produces the same graph on every
+// platform (all randomness flows through parabb::Rng).
+#pragma once
+
+#include <cstdint>
+
+#include "parabb/support/rng.hpp"
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+struct GeneratorConfig {
+  int n_min = 12;          ///< minimum task count
+  int n_max = 16;          ///< maximum task count
+  int depth_min = 8;       ///< minimum number of graph levels
+  int depth_max = 12;      ///< maximum number of graph levels
+  int degree_max = 3;      ///< max successors and max predecessors per task
+  double exec_mean = 20.0; ///< mean execution time
+  double exec_dev = 0.99;  ///< max relative deviation from the mean
+  double ccr = 1.0;        ///< target communication-to-computation ratio
+  Time comm_per_item = 1;  ///< interconnect nominal delay used to size items
+
+  /// Fixed tasks-per-level override for the §6 parallelism experiments;
+  /// 0 = random level sizes (the paper's base setup).
+  int fixed_width = 0;
+};
+
+struct GeneratedGraph {
+  TaskGraph graph;
+  int depth = 0;           ///< realized level count
+  int width = 0;           ///< realized max level size
+  double avg_exec = 0.0;   ///< realized mean execution time
+  double achieved_ccr = 0.0;
+};
+
+/// Generates one random graph. Degree bounds hold exactly: every non-input
+/// task has 1..degree_max predecessors, every non-output task 1..degree_max
+/// successors. Throws precondition_error on unsatisfiable configs
+/// (e.g. depth_min > n_max, or level sizes that cannot be wired within the
+/// degree bound).
+GeneratedGraph generate_graph(const GeneratorConfig& config,
+                              std::uint64_t seed);
+
+/// The paper's §4.1 configuration.
+GeneratorConfig paper_config();
+
+/// §6 parallelism-sweep configuration: `levels` levels of exactly `width`
+/// tasks (n = levels × width), other knobs as the paper's.
+GeneratorConfig width_config(int levels, int width);
+
+}  // namespace parabb

@@ -1,0 +1,98 @@
+#include "parabb/workload/presets.hpp"
+
+#include <string>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/builder.hpp"
+
+namespace parabb {
+
+TaskGraph preset_diamond() {
+  return GraphBuilder()
+      .task("src", 10)
+      .task("left", 20)
+      .task("right", 25)
+      .task("sink", 10)
+      .arc("src", "left", 5)
+      .arc("src", "right", 5)
+      .arc("left", "sink", 8)
+      .arc("right", "sink", 8)
+      .build();
+}
+
+TaskGraph preset_chain(int stages, Time exec, Time items) {
+  PARABB_REQUIRE(stages >= 1, "chain needs at least one stage");
+  GraphBuilder b;
+  for (int i = 0; i < stages; ++i)
+    b.task("s" + std::to_string(i), exec);
+  for (int i = 1; i < stages; ++i)
+    b.arc("s" + std::to_string(i - 1), "s" + std::to_string(i), items);
+  return b.build();
+}
+
+TaskGraph preset_fork_join(int branches, Time exec, Time items) {
+  PARABB_REQUIRE(branches >= 1, "fork-join needs at least one branch");
+  GraphBuilder b;
+  b.task("fork", exec).task("join", exec);
+  for (int i = 0; i < branches; ++i) {
+    const std::string name = "b" + std::to_string(i);
+    b.task(name, exec);
+    b.arc("fork", name, items);
+    b.arc(name, "join", items);
+  }
+  return b.build();
+}
+
+TaskGraph preset_dsp_pipeline() {
+  return GraphBuilder()
+      .task("sensorA", 8)
+      .task("sensorB", 8)
+      .task("filterA", 24)
+      .task("filterB", 24)
+      .task("fft_lo", 30)
+      .task("fft_hi", 30)
+      .task("features", 18)
+      .task("fusion", 12)
+      .task("actuate", 6)
+      .arc("sensorA", "filterA", 16)
+      .arc("sensorB", "filterB", 16)
+      .arc("filterA", "fft_lo", 12)
+      .arc("filterA", "fft_hi", 12)
+      .arc("filterB", "fft_lo", 12)
+      .arc("filterB", "fft_hi", 12)
+      .arc("fft_lo", "features", 10)
+      .arc("fft_hi", "features", 10)
+      .arc("features", "fusion", 6)
+      .arc("filterB", "fusion", 6)
+      .arc("fusion", "actuate", 4)
+      .build();
+}
+
+TaskGraph preset_gaussian_elimination(int k, Time pivot_exec,
+                                      Time update_exec, Time items) {
+  PARABB_REQUIRE(k >= 2, "gaussian elimination needs k >= 2");
+  GraphBuilder b;
+  for (int j = 0; j < k - 1; ++j) {
+    const std::string pivot = "piv" + std::to_string(j);
+    b.task(pivot, pivot_exec);
+    if (j > 0) {
+      // The pivot of column j depends on the previous column's update of
+      // row j.
+      b.arc("upd" + std::to_string(j - 1) + "_" + std::to_string(j), pivot,
+            items);
+    }
+    for (int i = j + 1; i < k; ++i) {
+      const std::string upd =
+          "upd" + std::to_string(j) + "_" + std::to_string(i);
+      b.task(upd, update_exec);
+      b.arc(pivot, upd, items);
+      if (j > 0) {
+        b.arc("upd" + std::to_string(j - 1) + "_" + std::to_string(i), upd,
+              items);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace parabb

@@ -1,0 +1,31 @@
+// Hand-crafted canonical task graphs used by tests and examples.
+#pragma once
+
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+/// Four-task diamond:  src -> {left, right} -> sink.
+TaskGraph preset_diamond();
+
+/// A linear pipeline of `stages` tasks with uniform execution time `exec`
+/// and `items` data items between consecutive stages.
+TaskGraph preset_chain(int stages, Time exec = 20, Time items = 20);
+
+/// Fork-join: one source fanning out to `branches` parallel tasks joined by
+/// one sink. Exercises application parallelism > processor parallelism.
+TaskGraph preset_fork_join(int branches, Time exec = 20, Time items = 20);
+
+/// A small digital-signal-processing pipeline in the spirit of the paper's
+/// DSP motivation [2]: two sensor front-ends, per-channel filtering, an FFT
+/// split into two half-spectrum tasks, feature extraction, fusion, and an
+/// actuator output. 9 tasks, realistic non-uniform costs.
+TaskGraph preset_dsp_pipeline();
+
+/// Gaussian-elimination update DAG for a k×k system (column-sweep variant):
+/// pivot tasks chained, each pivot fanning out to its column updates.
+/// n = (k-1) + k(k-1)/2 tasks.
+TaskGraph preset_gaussian_elimination(int k, Time pivot_exec = 10,
+                                      Time update_exec = 20, Time items = 10);
+
+}  // namespace parabb

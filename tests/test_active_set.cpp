@@ -1,0 +1,156 @@
+#include "parabb/bnb/active_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace parabb {
+namespace {
+
+VertexEntry entry(Time lb, std::uint32_t seq) {
+  return VertexEntry{lb, seq, SlotRef{seq, 0}};
+}
+
+struct Harness {
+  std::multiset<std::uint32_t> released;
+  ActiveSet as;
+
+  explicit Harness(SelectRule rule, bool llb_tie_newest = true)
+      : as(rule, [this](SlotRef r) { released.insert(r.index); },
+           llb_tie_newest) {}
+};
+
+TEST(ActiveSet, LifoPopsNewestFirst) {
+  Harness h(SelectRule::kLIFO);
+  h.as.push(entry(5, 0));
+  h.as.push(entry(1, 1));
+  h.as.push(entry(9, 2));
+  EXPECT_EQ(h.as.pop().seq, 2u);
+  EXPECT_EQ(h.as.pop().seq, 1u);
+  EXPECT_EQ(h.as.pop().seq, 0u);
+  EXPECT_TRUE(h.as.empty());
+}
+
+TEST(ActiveSet, FifoPopsOldestFirst) {
+  Harness h(SelectRule::kFIFO);
+  h.as.push(entry(5, 0));
+  h.as.push(entry(1, 1));
+  EXPECT_EQ(h.as.pop().seq, 0u);
+  EXPECT_EQ(h.as.pop().seq, 1u);
+}
+
+TEST(ActiveSet, LlbPopsLeastBoundFirst) {
+  Harness h(SelectRule::kLLB);
+  h.as.push(entry(5, 0));
+  h.as.push(entry(1, 1));
+  h.as.push(entry(9, 2));
+  h.as.push(entry(3, 3));
+  EXPECT_EQ(h.as.pop().lb, 1);
+  EXPECT_EQ(h.as.pop().lb, 3);
+  EXPECT_EQ(h.as.pop().lb, 5);
+  EXPECT_EQ(h.as.pop().lb, 9);
+}
+
+TEST(ActiveSet, LlbTiesBreakNewestFirstWhenConfigured) {
+  Harness h(SelectRule::kLLB, /*llb_tie_newest=*/true);
+  h.as.push(entry(4, 0));
+  h.as.push(entry(4, 1));
+  h.as.push(entry(4, 2));
+  EXPECT_EQ(h.as.pop().seq, 2u);
+  EXPECT_EQ(h.as.pop().seq, 1u);
+  EXPECT_EQ(h.as.pop().seq, 0u);
+}
+
+TEST(ActiveSet, LlbTiesBreakOldestFirstByDefault) {
+  Harness h(SelectRule::kLLB, /*llb_tie_newest=*/false);
+  h.as.push(entry(4, 0));
+  h.as.push(entry(4, 1));
+  h.as.push(entry(4, 2));
+  EXPECT_EQ(h.as.pop().seq, 0u);
+  EXPECT_EQ(h.as.pop().seq, 1u);
+  EXPECT_EQ(h.as.pop().seq, 2u);
+}
+
+TEST(ActiveSet, PeekMatchesPop) {
+  for (const SelectRule rule :
+       {SelectRule::kLIFO, SelectRule::kFIFO, SelectRule::kLLB}) {
+    Harness h(rule);
+    h.as.push(entry(5, 0));
+    h.as.push(entry(1, 1));
+    h.as.push(entry(7, 2));
+    while (!h.as.empty()) {
+      const std::uint32_t expected = h.as.peek().seq;
+      EXPECT_EQ(h.as.pop().seq, expected);
+    }
+  }
+}
+
+TEST(ActiveSet, PruneWorseReleasesAndCompacts) {
+  Harness h(SelectRule::kLIFO);
+  h.as.push(entry(10, 0));
+  h.as.push(entry(-5, 1));
+  h.as.push(entry(3, 2));
+  h.as.push(entry(3, 3));
+  EXPECT_EQ(h.as.prune_worse(3), 3u);  // 10 and both 3s go
+  EXPECT_EQ(h.as.size(), 1u);
+  EXPECT_EQ(h.released, (std::multiset<std::uint32_t>{0, 2, 3}));
+  EXPECT_EQ(h.as.pop().seq, 1u);
+}
+
+TEST(ActiveSet, PruneWorseKeepsHeapValid) {
+  Harness h(SelectRule::kLLB);
+  for (std::uint32_t i = 0; i < 20; ++i)
+    h.as.push(entry(static_cast<Time>(20 - i), i));
+  h.as.prune_worse(10);
+  Time prev = kTimeNegInf;
+  while (!h.as.empty()) {
+    const Time lb = h.as.pop().lb;
+    EXPECT_GE(lb, prev);
+    EXPECT_LT(lb, 10);
+    prev = lb;
+  }
+}
+
+TEST(ActiveSet, DisposeWorstDropsLargestBounds) {
+  Harness h(SelectRule::kLIFO);
+  h.as.push(entry(1, 0));
+  h.as.push(entry(8, 1));
+  h.as.push(entry(5, 2));
+  h.as.push(entry(9, 3));
+  EXPECT_EQ(h.as.dispose_worst(2), 2u);
+  EXPECT_EQ(h.as.size(), 2u);
+  EXPECT_EQ(h.released, (std::multiset<std::uint32_t>{1, 3}));
+}
+
+TEST(ActiveSet, DisposeWorstHandlesTies) {
+  Harness h(SelectRule::kFIFO);
+  h.as.push(entry(5, 0));
+  h.as.push(entry(5, 1));
+  h.as.push(entry(5, 2));
+  EXPECT_EQ(h.as.dispose_worst(2), 2u);
+  EXPECT_EQ(h.as.size(), 1u);
+}
+
+TEST(ActiveSet, DisposeWorstClampedToSize) {
+  Harness h(SelectRule::kLIFO);
+  h.as.push(entry(1, 0));
+  EXPECT_EQ(h.as.dispose_worst(10), 1u);
+  EXPECT_TRUE(h.as.empty());
+  EXPECT_EQ(h.as.dispose_worst(3), 0u);
+}
+
+TEST(ActiveSet, PruneEverything) {
+  Harness h(SelectRule::kLLB);
+  h.as.push(entry(4, 0));
+  h.as.push(entry(6, 1));
+  EXPECT_EQ(h.as.prune_worse(kTimeNegInf), 2u);
+  EXPECT_TRUE(h.as.empty());
+}
+
+TEST(ActiveSet, RequiresReleaseCallback) {
+  EXPECT_THROW(ActiveSet(SelectRule::kLIFO, nullptr), precondition_error);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,104 @@
+#include "parabb/support/bitset64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parabb {
+namespace {
+
+TEST(TaskSet, StartsEmpty) {
+  TaskSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(TaskSet, InsertEraseContains) {
+  TaskSet s;
+  s.insert(3);
+  s.insert(17);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(17));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+  s.erase(3);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(TaskSet, FirstN) {
+  const TaskSet s = TaskSet::first_n(5);
+  EXPECT_EQ(s.size(), 5);
+  for (TaskId t = 0; t < 5; ++t) EXPECT_TRUE(s.contains(t));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(TaskSet::first_n(0).size(), 0);
+  EXPECT_EQ(TaskSet::first_n(64).size(), 64);
+}
+
+TEST(TaskSet, SetOperations) {
+  TaskSet a, b;
+  a.insert(1);
+  a.insert(2);
+  b.insert(2);
+  b.insert(3);
+  EXPECT_EQ((a | b).size(), 3);
+  EXPECT_EQ((a & b).size(), 1);
+  EXPECT_TRUE((a & b).contains(2));
+  EXPECT_EQ((a - b).size(), 1);
+  EXPECT_TRUE((a - b).contains(1));
+}
+
+TEST(TaskSet, SubsetAndIntersects) {
+  TaskSet a, b;
+  a.insert(1);
+  b.insert(1);
+  b.insert(2);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  TaskSet c;
+  c.insert(9);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(TaskSet().is_subset_of(a));
+}
+
+TEST(TaskSet, IterationInIncreasingOrder) {
+  TaskSet s;
+  s.insert(31);
+  s.insert(0);
+  s.insert(7);
+  std::vector<TaskId> seen;
+  for (const TaskId t : s) seen.push_back(t);
+  EXPECT_EQ(seen, (std::vector<TaskId>{0, 7, 31}));
+}
+
+TEST(TaskSet, IterateEmpty) {
+  int count = 0;
+  for ([[maybe_unused]] const TaskId t : TaskSet()) ++count;
+  EXPECT_EQ(count, 0);
+}
+
+TEST(TaskSet, Equality) {
+  TaskSet a, b;
+  a.insert(5);
+  b.insert(5);
+  EXPECT_EQ(a, b);
+  b.insert(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(TaskSet, HighBits) {
+  TaskSet s;
+  s.insert(63);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_EQ(s.size(), 1);
+  std::vector<TaskId> seen;
+  for (const TaskId t : s) seen.push_back(t);
+  EXPECT_EQ(seen, std::vector<TaskId>{63});
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,75 @@
+#include "parabb/bnb/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/sched/validator.hpp"
+#include "parabb/support/assert.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(BruteForce, SingleTaskSingleProc) {
+  TaskGraph g;
+  Task t;
+  t.name = "a";
+  t.exec = 5;
+  t.rel_deadline = 7;
+  g.add_task(t);
+  const SchedContext ctx = test::make_ctx(g, 1);
+  const BruteForceResult r = brute_force(ctx);
+  EXPECT_EQ(r.leaves, 1u);
+  EXPECT_EQ(r.best_cost, -2);
+}
+
+TEST(BruteForce, LeafCountIndependentTasks) {
+  // n independent tasks on m processors: n! * m^n goal vertices.
+  const SchedContext ctx = test::make_ctx(test::independent_tasks(3), 2);
+  const BruteForceResult r = brute_force(ctx);
+  EXPECT_EQ(r.leaves, 6u * 8u);  // 3! * 2^3
+}
+
+TEST(BruteForce, LeafCountChain) {
+  // A chain has exactly one task order: m^n goals.
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 1, 10, 0)
+                          .task("b", 1, 10, 0)
+                          .task("c", 1, 10, 0)
+                          .chain({"a", "b", "c"})
+                          .build();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  EXPECT_EQ(brute_force(ctx).leaves, 8u);  // 2^3
+}
+
+TEST(BruteForce, BestScheduleMatchesCost) {
+  const TaskGraph g = test::tiny_random(3, 6, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const BruteForceResult r = brute_force(ctx);
+  EXPECT_EQ(max_lateness(r.best, g), r.best_cost);
+  const ValidationReport rep =
+      validate_schedule(r.best, g, make_shared_bus_machine(2));
+  EXPECT_TRUE(rep.structurally_sound) << rep.error;
+}
+
+TEST(BruteForce, MoreProcessorsNeverIncreaseOptimum) {
+  // The processor sets nest, so the optimal lateness is non-increasing
+  // in m.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const TaskGraph g = test::tiny_random(seed, 6, 3);
+    Time prev = kTimeInf;
+    for (int m = 1; m <= 3; ++m) {
+      const SchedContext ctx = test::make_ctx(g, m);
+      const Time cost = brute_force(ctx).best_cost;
+      EXPECT_LE(cost, prev) << "seed " << seed << " m " << m;
+      prev = cost;
+    }
+  }
+}
+
+TEST(BruteForce, LeafBudgetEnforced) {
+  const SchedContext ctx = test::make_ctx(test::independent_tasks(6), 3);
+  EXPECT_THROW(brute_force(ctx, /*max_leaves=*/100), precondition_error);
+}
+
+}  // namespace
+}  // namespace parabb

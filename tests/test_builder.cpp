@@ -1,0 +1,83 @@
+#include "parabb/taskgraph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(GraphBuilder, BuildsTasksAndArcs) {
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 10, 30, 5)
+                          .task("b", 20)
+                          .arc("a", "b", 8)
+                          .build();
+  EXPECT_EQ(g.task_count(), 2);
+  EXPECT_EQ(g.arc_count(), 1);
+  EXPECT_EQ(g.task(0).name, "a");
+  EXPECT_EQ(g.task(0).exec, 10);
+  EXPECT_EQ(g.task(0).rel_deadline, 30);
+  EXPECT_EQ(g.task(0).phase, 5);
+  EXPECT_EQ(g.items_on_arc(0, 1), 8);
+}
+
+TEST(GraphBuilder, ArcsMayPrecedeTasks) {
+  const TaskGraph g = GraphBuilder()
+                          .arc("x", "y", 3)
+                          .task("y", 2)
+                          .task("x", 1)
+                          .build();
+  // Names resolve regardless of declaration order; ids follow task order.
+  EXPECT_EQ(g.task(0).name, "y");
+  EXPECT_EQ(g.items_on_arc(1, 0), 3);
+}
+
+TEST(GraphBuilder, ChainConnectsConsecutive) {
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 1)
+                          .task("b", 1)
+                          .task("c", 1)
+                          .chain({"a", "b", "c"}, 4)
+                          .build();
+  EXPECT_EQ(g.arc_count(), 2);
+  EXPECT_EQ(g.items_on_arc(0, 1), 4);
+  EXPECT_EQ(g.items_on_arc(1, 2), 4);
+}
+
+TEST(GraphBuilder, DuplicateTaskThrows) {
+  GraphBuilder b;
+  b.task("a", 1).task("a", 2);
+  EXPECT_THROW(b.build(), precondition_error);
+}
+
+TEST(GraphBuilder, UnknownArcEndpointThrows) {
+  GraphBuilder b;
+  b.task("a", 1).arc("a", "ghost");
+  EXPECT_THROW(b.build(), precondition_error);
+}
+
+TEST(GraphBuilder, CycleDetectedAtBuild) {
+  GraphBuilder b;
+  b.task("a", 1).task("b", 1).arc("a", "b").arc("b", "a");
+  EXPECT_THROW(b.build(), precondition_error);
+}
+
+TEST(GraphBuilder, ChainTooShortThrows) {
+  GraphBuilder b;
+  b.task("a", 1);
+  EXPECT_THROW(b.chain({"a"}), precondition_error);
+}
+
+TEST(GraphBuilder, BuilderIsReusableSnapshot) {
+  GraphBuilder b;
+  b.task("a", 1);
+  const TaskGraph g1 = b.build();
+  b.task("b", 2);
+  const TaskGraph g2 = b.build();
+  EXPECT_EQ(g1.task_count(), 1);
+  EXPECT_EQ(g2.task_count(), 2);
+}
+
+}  // namespace
+}  // namespace parabb

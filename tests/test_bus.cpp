@@ -1,0 +1,90 @@
+#include "parabb/platform/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(SharedBus, FirstReservationStartsAtEarliest) {
+  SharedBus bus(1);
+  EXPECT_EQ(bus.reserve(10, 5), 15);  // [10,15)
+  EXPECT_EQ(bus.reservation_count(), 1u);
+  EXPECT_EQ(bus.utilization(), 5);
+}
+
+TEST(SharedBus, OverlappingRequestsSerialize) {
+  SharedBus bus(1);
+  EXPECT_EQ(bus.reserve(0, 10), 10);   // [0,10)
+  EXPECT_EQ(bus.reserve(5, 4), 14);    // pushed to [10,14)
+  EXPECT_EQ(bus.reserve(0, 2), 16);    // pushed to [14,16)
+  EXPECT_EQ(bus.utilization(), 16);
+}
+
+TEST(SharedBus, GapsAreFilled) {
+  SharedBus bus(1);
+  bus.reserve(0, 5);    // [0,5)
+  bus.reserve(20, 5);   // [20,25)
+  EXPECT_EQ(bus.reserve(6, 4), 10);  // fits in [6,10)
+  EXPECT_EQ(bus.reserve(0, 10), 20); // fits in the [10,20) gap exactly
+}
+
+TEST(SharedBus, ExactGapFit) {
+  SharedBus bus(1);
+  bus.reserve(0, 5);   // [0,5)
+  bus.reserve(10, 5);  // [10,15)
+  EXPECT_EQ(bus.reserve(0, 5), 10);  // [5,10) exactly
+}
+
+TEST(SharedBus, ZeroItemsAreFree) {
+  SharedBus bus(1);
+  EXPECT_EQ(bus.reserve(7, 0), 7);
+  EXPECT_EQ(bus.reservation_count(), 0u);
+}
+
+TEST(SharedBus, PerItemDelayScalesDuration) {
+  SharedBus bus(3);
+  EXPECT_EQ(bus.reserve(0, 4), 12);  // 4 items * 3 units
+}
+
+TEST(SharedBus, ZeroDelayBusIsTransparent) {
+  SharedBus bus(0);
+  EXPECT_EQ(bus.reserve(5, 100), 5);
+  EXPECT_EQ(bus.reservation_count(), 0u);
+}
+
+TEST(SharedBus, ProbeDoesNotReserve) {
+  SharedBus bus(1);
+  bus.reserve(0, 5);
+  EXPECT_EQ(bus.probe(0, 5), 5);
+  EXPECT_EQ(bus.probe(0, 5), 5);  // unchanged
+  EXPECT_EQ(bus.reservation_count(), 1u);
+}
+
+TEST(SharedBus, ClearResets) {
+  SharedBus bus(1);
+  bus.reserve(0, 5);
+  bus.clear();
+  EXPECT_EQ(bus.reservation_count(), 0u);
+  EXPECT_EQ(bus.reserve(0, 5), 5);
+}
+
+TEST(SharedBus, RejectsNegativeInputs) {
+  EXPECT_THROW(SharedBus(-1), precondition_error);
+  SharedBus bus(1);
+  EXPECT_THROW(bus.reserve(0, -3), precondition_error);
+}
+
+TEST(SharedBus, ManyReservationsStaySorted) {
+  SharedBus bus(1);
+  // Reserve in scrambled earliest order; total time must equal the sum
+  // (full serialization when requests overlap at time 0).
+  Time finish = 0;
+  for (int i = 0; i < 50; ++i) finish = bus.reserve(0, 2);
+  EXPECT_EQ(finish, 100);
+  EXPECT_EQ(bus.utilization(), 100);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,134 @@
+#include "parabb/support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test program");
+  p.add_option("count", "an int", "5");
+  p.add_option("ratio", "a double", "1.5");
+  p.add_option("name", "a string", "default");
+  p.add_option("sizes", "int list", "2,3,4");
+  p.add_option("ccrs", "double list", "0.5,1.0");
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+int parse(ArgParser& p, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return p.parse(static_cast<int>(argv.size()), argv.data()) ? 1 : 0;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p = make_parser();
+  parse(p, {});
+  EXPECT_EQ(p.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 1.5);
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_FALSE(p.has_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p = make_parser();
+  parse(p, {"--count", "42", "--name", "bob"});
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_EQ(p.get_string("name"), "bob");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser p = make_parser();
+  parse(p, {"--count=7", "--ratio=2.25"});
+  EXPECT_EQ(p.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 2.25);
+}
+
+TEST(ArgParser, Flags) {
+  ArgParser p = make_parser();
+  parse(p, {"--verbose"});
+  EXPECT_TRUE(p.has_flag("verbose"));
+}
+
+TEST(ArgParser, IntList) {
+  ArgParser p = make_parser();
+  parse(p, {"--sizes", "1,5,9"});
+  EXPECT_EQ(p.get_int_list("sizes"),
+            (std::vector<std::int64_t>{1, 5, 9}));
+}
+
+TEST(ArgParser, DoubleList) {
+  ArgParser p = make_parser();
+  parse(p, {"--ccrs=0.1,2.5"});
+  const auto v = p.get_double_list("ccrs");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+}
+
+TEST(ArgParser, Positional) {
+  ArgParser p = make_parser();
+  parse(p, {"file1", "--count", "3", "file2"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--bogus", "1"}), std::runtime_error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--count"}), std::runtime_error);
+}
+
+TEST(ArgParser, BadIntThrows) {
+  ArgParser p = make_parser();
+  parse(p, {"--count", "abc"});
+  EXPECT_THROW(p.get_int("count"), std::runtime_error);
+}
+
+TEST(ArgParser, BadDoubleThrows) {
+  ArgParser p = make_parser();
+  parse(p, {"--ratio", "x1"});
+  EXPECT_THROW(p.get_double("ratio"), std::runtime_error);
+}
+
+TEST(ArgParser, FlagWithValueThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--verbose=yes"}), std::runtime_error);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser p = make_parser();
+  EXPECT_EQ(parse(p, {"--help"}), 0);
+}
+
+TEST(ArgParser, HelpTextListsOptions) {
+  ArgParser p = make_parser();
+  const std::string h = p.help_text();
+  EXPECT_NE(h.find("--count"), std::string::npos);
+  EXPECT_NE(h.find("--verbose"), std::string::npos);
+  EXPECT_NE(h.find("default: 5"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateDeclarationThrows) {
+  ArgParser p("x", "y");
+  p.add_option("a", "h", "1");
+  EXPECT_THROW(p.add_option("a", "h", "2"), precondition_error);
+  EXPECT_THROW(p.add_flag("a", "h"), precondition_error);
+}
+
+TEST(ArgParser, QueryingUndeclaredThrows) {
+  ArgParser p("x", "y");
+  EXPECT_THROW(p.get_string("nope"), precondition_error);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,103 @@
+#include "parabb/sched/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(SchedContext, FlattensTaskData) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  EXPECT_EQ(ctx.task_count(), 4);
+  EXPECT_EQ(ctx.proc_count(), 2);
+  EXPECT_EQ(ctx.exec(0), 10);
+  EXPECT_EQ(ctx.arrival(0), 0);
+  EXPECT_EQ(ctx.deadline(0), 15);
+  EXPECT_EQ(ctx.arrival(1), 10);
+  EXPECT_EQ(ctx.deadline(1), 50);
+}
+
+TEST(SchedContext, PredsCarryCommDelays) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  // d (task 3) has preds b, c with 5 items each -> delay 5 on the 1u bus.
+  ASSERT_EQ(ctx.pred_ids(3).size(), 2u);
+  EXPECT_EQ(ctx.pred_comm(3)[0], 5);
+  EXPECT_EQ(ctx.pred_comm(3)[1], 5);
+  EXPECT_EQ(ctx.pred_count(0), 0);
+  ASSERT_EQ(ctx.succ_ids(0).size(), 2u);
+  EXPECT_EQ(ctx.succ_comm(0)[0], 5);
+}
+
+TEST(SchedContext, CommDelaysScaleWithModel) {
+  const TaskGraph g = test::small_diamond();
+  Machine m{2, CommModel::per_item(4), std::nullopt};
+  const SchedContext ctx(g, m);
+  EXPECT_EQ(ctx.pred_comm(3)[0], 20);
+}
+
+TEST(SchedContext, InitialReadyAreInputs) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  EXPECT_EQ(ctx.initial_ready().size(), 1);
+  EXPECT_TRUE(ctx.initial_ready().contains(0));
+  EXPECT_EQ(ctx.all_tasks().size(), 4);
+}
+
+TEST(SchedContext, ExposesBranchingOrders) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  EXPECT_EQ(ctx.topo_order().size(), 4u);
+  EXPECT_EQ(ctx.dfs_order().size(), 4u);
+  EXPECT_EQ(ctx.level_order().size(), 4u);
+  EXPECT_EQ(ctx.dfs_order()[0], 0);
+}
+
+TEST(SchedContext, RejectsTooManyTasks) {
+  GraphBuilder b;
+  for (int i = 0; i <= kMaxTasks; ++i)
+    b.task("t" + std::to_string(i), 1);
+  const TaskGraph g = b.build();
+  EXPECT_THROW(test::make_ctx(g, 2), precondition_error);
+}
+
+TEST(SchedContext, RejectsEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW(test::make_ctx(g, 2), precondition_error);
+}
+
+TEST(SchedContext, RejectsCyclicGraph) {
+  TaskGraph g;
+  Task t;
+  t.exec = 1;
+  t.name = "a";
+  const TaskId a = g.add_task(t);
+  t.name = "b";
+  const TaskId b = g.add_task(t);
+  g.add_arc(a, b);
+  g.add_arc(b, a);
+  EXPECT_THROW(test::make_ctx(g, 2), precondition_error);
+}
+
+TEST(SchedContext, RejectsHugeTimes) {
+  TaskGraph g;
+  Task t;
+  t.name = "big";
+  t.exec = kMaxCompactTime + 1;
+  g.add_task(t);
+  EXPECT_THROW(test::make_ctx(g, 1), precondition_error);
+}
+
+TEST(SchedContext, RejectsBadMachineSize) {
+  const TaskGraph g = test::small_diamond();
+  Machine m{0, CommModel::per_item(1), std::nullopt};
+  EXPECT_THROW(SchedContext(g, m), precondition_error);
+  m.procs = kMaxProcs + 1;
+  EXPECT_THROW(SchedContext(g, m), precondition_error);
+}
+
+}  // namespace
+}  // namespace parabb

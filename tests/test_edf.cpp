@@ -1,0 +1,101 @@
+#include "parabb/sched/edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/sched/validator.hpp"
+#include "parabb/workload/presets.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(Edf, SchedulesEverything) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  const EdfResult r = schedule_edf(ctx);
+  EXPECT_EQ(r.schedule.task_count(), 4);
+  for (TaskId t = 0; t < 4; ++t) EXPECT_GE(r.schedule.entry(t).proc, 0);
+}
+
+TEST(Edf, PicksClosestDeadlineFirst) {
+  // Two independent tasks, same arrival; tight deadline must go first on
+  // a single processor.
+  const TaskGraph g = GraphBuilder()
+                          .task("loose", 10, 100, 0)
+                          .task("tight", 10, 12, 0)
+                          .build();
+  const SchedContext ctx = test::make_ctx(g, 1);
+  const EdfResult r = schedule_edf(ctx);
+  EXPECT_LT(r.schedule.entry(1).start, r.schedule.entry(0).start);
+  // tight: [0,10) vs deadline 12 -> -2; loose: [10,20) vs 100 -> -80.
+  EXPECT_EQ(r.max_lateness, -2);
+}
+
+TEST(Edf, UsesEarliestStartProcessor) {
+  // Three independent tasks on two processors: the third goes to whichever
+  // processor frees first.
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 10, 50, 0)
+                          .task("b", 4, 60, 0)
+                          .task("c", 5, 70, 0)
+                          .build();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const EdfResult r = schedule_edf(ctx);
+  // a->P0 [0,10), b->P1 [0,4), c->P1 [4,9).
+  EXPECT_EQ(r.schedule.entry(2).proc, r.schedule.entry(1).proc);
+  EXPECT_EQ(r.schedule.entry(2).start, 4);
+}
+
+TEST(Edf, MaxLatenessMatchesSchedule) {
+  const TaskGraph g = test::paper_instance(3);
+  const SchedContext ctx = test::make_ctx(g, 3);
+  const EdfResult r = schedule_edf(ctx);
+  EXPECT_EQ(r.max_lateness, max_lateness(r.schedule, g));
+}
+
+TEST(Edf, DeterministicAcrossCalls) {
+  const TaskGraph g = test::paper_instance(9);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const EdfResult a = schedule_edf(ctx);
+  const EdfResult b = schedule_edf(ctx);
+  EXPECT_EQ(a.max_lateness, b.max_lateness);
+  for (TaskId t = 0; t < ctx.task_count(); ++t) {
+    EXPECT_EQ(a.schedule.entry(t).proc, b.schedule.entry(t).proc);
+    EXPECT_EQ(a.schedule.entry(t).start, b.schedule.entry(t).start);
+  }
+}
+
+class EdfSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfSweep, ProducesStructurallySoundSchedules) {
+  const TaskGraph g = test::paper_instance(GetParam());
+  for (int m = 2; m <= 4; ++m) {
+    const Machine machine = make_shared_bus_machine(m);
+    const SchedContext ctx(g, machine);
+    const EdfResult r = schedule_edf(ctx);
+    const ValidationReport rep = validate_schedule(r.schedule, g, machine);
+    EXPECT_TRUE(rep.structurally_sound)
+        << rep.error << " (seed " << GetParam() << ", m=" << m << ")";
+    EXPECT_EQ(r.max_lateness, max_lateness(r.schedule, g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfSweep,
+                         ::testing::Range<std::uint64_t>(100, 125));
+
+TEST(Edf, MoreProcessorsNeverHurtOnWideGraphs) {
+  // Fork-join with many branches: lateness should improve (or tie) as m
+  // grows. (Holds for EDF on this family because it is greedy
+  // earliest-start; serves as a sanity property, not a general theorem.)
+  TaskGraph g = preset_fork_join(6, 20, 0);
+  assign_deadlines_slicing(g);
+  Time prev = kTimeInf;
+  for (int m = 1; m <= 4; ++m) {
+    const SchedContext ctx = test::make_ctx(g, m);
+    const EdfResult r = schedule_edf(ctx);
+    EXPECT_LE(r.max_lateness, prev);
+    prev = r.max_lateness;
+  }
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,173 @@
+// Cross-rule consistency and approximation-guarantee tests for the
+// parametrized B&B (the heart of the paper's claims).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parabb/bnb/brute_force.hpp"
+#include "parabb/bnb/engine.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+struct RuleCase {
+  std::uint64_t seed;
+  int procs;
+};
+
+class RuleConsistency : public ::testing::TestWithParam<RuleCase> {};
+
+// Every complete configuration (BFn with any selection rule and any lower
+// bound, with or without U/DBAS) must find the same optimal cost, equal to
+// brute force.
+TEST_P(RuleConsistency, AllOptimalConfigsAgreeWithBruteForce) {
+  const TaskGraph g = test::tiny_random(GetParam().seed, 6, 3);
+  const SchedContext ctx = test::make_ctx(g, GetParam().procs);
+  const Time opt = brute_force(ctx).best_cost;
+
+  for (const SelectRule s :
+       {SelectRule::kLIFO, SelectRule::kLLB, SelectRule::kFIFO}) {
+    for (const LowerBound lb :
+         {LowerBound::kLB0, LowerBound::kLB1, LowerBound::kLB2}) {
+      for (const UpperBoundInit ub :
+           {UpperBoundInit::kFromEDF, UpperBoundInit::kInfinite}) {
+        Params p;
+        p.select = s;
+        p.lb = lb;
+        p.ub = ub;
+        const SearchResult r = solve_bnb(ctx, p);
+        ASSERT_TRUE(r.found_solution)
+            << to_string(s) << "/" << to_string(lb) << "/" << to_string(ub);
+        EXPECT_EQ(r.best_cost, opt)
+            << to_string(s) << "/" << to_string(lb) << "/" << to_string(ub)
+            << " seed=" << GetParam().seed << " m=" << GetParam().procs;
+        EXPECT_TRUE(r.proved);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RuleConsistency,
+    ::testing::Values(RuleCase{0, 2}, RuleCase{1, 2}, RuleCase{2, 3},
+                      RuleCase{3, 2}, RuleCase{4, 3}, RuleCase{5, 2},
+                      RuleCase{6, 1}, RuleCase{7, 3}, RuleCase{8, 2},
+                      RuleCase{9, 3}));
+
+TEST(RuleConsistency, ElimNoneAlsoOptimal) {
+  const TaskGraph g = test::tiny_random(1, 5, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  Params p;
+  p.elim = ElimRule::kNone;
+  p.select = SelectRule::kLIFO;
+  const SearchResult r = solve_bnb(ctx, p);
+  EXPECT_EQ(r.best_cost, brute_force(ctx).best_cost);
+}
+
+TEST(RuleConsistency, ElimNoneGeneratesAtLeastAsMany) {
+  const TaskGraph g = test::tiny_random(1, 6, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  Params with;
+  Params without;
+  without.elim = ElimRule::kNone;
+  const SearchResult a = solve_bnb(ctx, with);
+  const SearchResult b = solve_bnb(ctx, without);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_LE(a.stats.generated, b.stats.generated);
+}
+
+TEST(RuleConsistency, UnsortedChildrenStillOptimal) {
+  const TaskGraph g = test::tiny_random(12, 6, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  Params p;
+  p.sort_children = false;
+  const SearchResult r = solve_bnb(ctx, p);
+  EXPECT_EQ(r.best_cost, brute_force(ctx).best_cost);
+}
+
+// Approximate branching rules: valid schedules, cost >= optimal.
+class ApproxRules : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxRules, DfAndBf1AreFeasibleAndNoBetterThanOptimal) {
+  const TaskGraph g = test::tiny_random(GetParam(), 7, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Time opt = brute_force(ctx).best_cost;
+  for (const BranchRule b : {BranchRule::kDF, BranchRule::kBF1}) {
+    Params p;
+    p.branch = b;
+    const SearchResult r = solve_bnb(ctx, p);
+    ASSERT_TRUE(r.found_solution) << to_string(b);
+    EXPECT_GE(r.best_cost, opt) << to_string(b);
+    EXPECT_FALSE(r.proved);  // no guarantee without BFn
+    EXPECT_EQ(max_lateness(r.best, g), r.best_cost);
+  }
+}
+
+TEST_P(ApproxRules, BrBoundedSearchHonorsGuarantee) {
+  const TaskGraph g = test::tiny_random(GetParam(), 7, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Time opt = brute_force(ctx).best_cost;
+  Params p;
+  p.br = 0.10;
+  const SearchResult r = solve_bnb(ctx, p);
+  ASSERT_TRUE(r.found_solution);
+  EXPECT_TRUE(r.proved);
+  EXPECT_GE(r.best_cost, opt);
+  // |L_acc| within (1+BR)|L_opt| (plus 1 for integer margins).
+  const double allowed =
+      p.br * std::max(std::abs(static_cast<double>(r.best_cost)),
+                      std::abs(static_cast<double>(opt))) +
+      1.0;
+  EXPECT_LE(static_cast<double>(r.best_cost - opt), allowed);
+}
+
+TEST_P(ApproxRules, BrZeroIsExact) {
+  const TaskGraph g = test::tiny_random(GetParam() + 100, 6, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  Params p;
+  p.br = 0.0;
+  const SearchResult r = solve_bnb(ctx, p);
+  EXPECT_EQ(r.best_cost, brute_force(ctx).best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxRules,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+// The paper's headline orderings, checked as weak inequalities on small
+// batches (robust to instance noise; the full effect is shown in the
+// benches).
+TEST(RuleOrdering, BrRelaxationNeverSearchesMore) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const TaskGraph g = test::paper_instance(seed);
+    const SchedContext ctx = test::make_ctx(g, 2);
+    Params exact;
+    Params relaxed;
+    relaxed.br = 0.10;
+    const SearchResult a = solve_bnb(ctx, exact);
+    const SearchResult b = solve_bnb(ctx, relaxed);
+    EXPECT_LE(b.stats.generated, a.stats.generated) << "seed " << seed;
+  }
+}
+
+TEST(RuleOrdering, ApproximateBranchingSearchesFarLess) {
+  std::uint64_t bfn_total = 0;
+  std::uint64_t df_total = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const TaskGraph g = test::tight_instance(seed);
+    const SchedContext ctx = test::make_ctx(g, 2);
+    Params bfn;
+    Params df;
+    df.branch = BranchRule::kDF;
+    const SearchResult a = solve_bnb(ctx, bfn);
+    const SearchResult b = solve_bnb(ctx, df);
+    EXPECT_LE(b.stats.generated, a.stats.generated) << "seed " << seed;
+    bfn_total += a.stats.generated;
+    df_total += b.stats.generated;
+  }
+  // Aggregate effect: DF explores far less than the complete rule.
+  EXPECT_LT(df_total * 2, bfn_total);
+}
+
+}  // namespace
+}  // namespace parabb

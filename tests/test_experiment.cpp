@@ -1,0 +1,165 @@
+#include "parabb/experiments/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/experiments/report.hpp"
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  // Tiny instances keep the exhaustive variants fast in unit tests.
+  cfg.workload.n_min = 6;
+  cfg.workload.n_max = 8;
+  cfg.workload.depth_min = 3;
+  cfg.workload.depth_max = 4;
+  cfg.machine_sizes = {2, 3};
+  cfg.min_reps = 4;
+  cfg.batch_reps = 4;
+  cfg.max_reps = 8;
+  cfg.seed = 99;
+
+  AlgorithmVariant edf;
+  edf.label = "EDF";
+  edf.kind = AlgorithmVariant::Kind::kEdf;
+  cfg.variants.push_back(edf);
+
+  AlgorithmVariant bnb;
+  bnb.label = "B&B(LIFO)";
+  bnb.kind = AlgorithmVariant::Kind::kBnB;
+  cfg.variants.push_back(bnb);
+  return cfg;
+}
+
+TEST(Experiment, ProducesCellForEveryVariantAndMachine) {
+  const ExperimentConfig cfg = small_config();
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_EQ(r.cells.size(), 2u);
+  ASSERT_EQ(r.cells[0].size(), 2u);
+  EXPECT_GE(r.reps_used, cfg.min_reps);
+  EXPECT_LE(r.reps_used, cfg.max_reps);
+  for (const auto& row : r.cells) {
+    for (const CellStats& cell : row) {
+      EXPECT_GT(cell.vertices.count(), 0u);
+      EXPECT_EQ(cell.vertices.count(), cell.lateness.count());
+    }
+  }
+}
+
+TEST(Experiment, DeterministicAcrossThreadCounts) {
+  ExperimentConfig cfg = small_config();
+  cfg.threads = 1;
+  const ExperimentResult a = run_experiment(cfg);
+  cfg.threads = 4;
+  const ExperimentResult b = run_experiment(cfg);
+  ASSERT_EQ(a.reps_used, b.reps_used);
+  for (std::size_t v = 0; v < a.cells.size(); ++v) {
+    for (std::size_t mi = 0; mi < a.cells[v].size(); ++mi) {
+      EXPECT_DOUBLE_EQ(a.cells[v][mi].vertices.mean(),
+                       b.cells[v][mi].vertices.mean());
+      EXPECT_DOUBLE_EQ(a.cells[v][mi].lateness.mean(),
+                       b.cells[v][mi].lateness.mean());
+    }
+  }
+}
+
+TEST(Experiment, BnbLatenessNeverWorseThanEdf) {
+  const ExperimentConfig cfg = small_config();
+  const ExperimentResult r = run_experiment(cfg);
+  for (std::size_t mi = 0; mi < cfg.machine_sizes.size(); ++mi) {
+    EXPECT_LE(r.cells[1][mi].lateness.mean(),
+              r.cells[0][mi].lateness.mean() + 1e-9);
+  }
+}
+
+TEST(Experiment, PairedInstancesAcrossVariants) {
+  // Same seed => same instances => EDF lateness means must be identical
+  // across two separate experiment runs.
+  const ExperimentConfig cfg = small_config();
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.cells[0][0].lateness.mean(),
+                   b.cells[0][0].lateness.mean());
+}
+
+TEST(Experiment, RejectsEmptyConfigs) {
+  ExperimentConfig cfg = small_config();
+  cfg.variants.clear();
+  EXPECT_THROW(run_experiment(cfg), precondition_error);
+  cfg = small_config();
+  cfg.machine_sizes.clear();
+  EXPECT_THROW(run_experiment(cfg), precondition_error);
+  cfg = small_config();
+  cfg.min_reps = 1;
+  EXPECT_THROW(run_experiment(cfg), precondition_error);
+}
+
+TEST(Experiment, ReportTableHasExpectedShape) {
+  const ExperimentConfig cfg = small_config();
+  const ExperimentResult r = run_experiment(cfg);
+  const TextTable table = make_report_table(cfg, r);
+  // 2 variants x 2 machine sizes rows.
+  EXPECT_EQ(table.row_count(), 5u);  // 4 data rows + 1 rule
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("EDF"), std::string::npos);
+  EXPECT_NE(s.find("B&B(LIFO)"), std::string::npos);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("variant,m,"), std::string::npos);
+}
+
+TEST(Experiment, RatioTableUsesReference) {
+  const ExperimentConfig cfg = small_config();
+  const ExperimentResult r = run_experiment(cfg);
+  const TextTable table = make_ratio_table(cfg, r, /*reference=*/0);
+  EXPECT_EQ(table.row_count(), 2u);  // one per machine size
+  EXPECT_THROW(make_ratio_table(cfg, r, 7), precondition_error);
+}
+
+TEST(Experiment, EdfVertexEquivalent) {
+  EXPECT_DOUBLE_EQ(edf_vertex_equivalent(14), 14.0);
+}
+
+TEST(Experiment, PairedExclusionDropsTheWholeReplication) {
+  // One variant is strangled by a zero time limit, so *every* variant's
+  // averages must exclude every replication (paired exclusion).
+  ExperimentConfig cfg = small_config();
+  // Big enough that the exhaustive variant always reaches the engine's
+  // periodic clock check (every 256 iterations) before finishing.
+  cfg.workload.n_min = cfg.workload.n_max = 10;
+  cfg.workload.depth_min = cfg.workload.depth_max = 4;
+  AlgorithmVariant doomed;
+  doomed.label = "doomed";
+  doomed.kind = AlgorithmVariant::Kind::kBnB;
+  doomed.params.ub = UpperBoundInit::kInfinite;  // must actually search
+  doomed.params.elim = ElimRule::kNone;  // ...exhaustively (many iterations)
+  doomed.params.rb.time_limit_s = 0.0;
+  cfg.variants.push_back(doomed);
+
+  const ExperimentResult r = run_experiment(cfg);
+  const auto reps = static_cast<std::uint64_t>(r.reps_used);
+  for (std::size_t v = 0; v < cfg.variants.size(); ++v) {
+    for (std::size_t mi = 0; mi < cfg.machine_sizes.size(); ++mi) {
+      EXPECT_EQ(r.cells[v][mi].excluded, reps) << cfg.variants[v].label;
+      EXPECT_EQ(r.cells[v][mi].vertices.count(), 0u);
+    }
+  }
+}
+
+TEST(Experiment, UnprovedRunsAreCounted) {
+  ExperimentConfig cfg = small_config();
+  cfg.variants.clear();
+  AlgorithmVariant crippled;
+  crippled.label = "crippled";
+  crippled.kind = AlgorithmVariant::Kind::kBnB;
+  crippled.params.branch = BranchRule::kDF;  // never proves optimality
+  cfg.variants.push_back(crippled);
+  const ExperimentResult r = run_experiment(cfg);
+  for (std::size_t mi = 0; mi < cfg.machine_sizes.size(); ++mi) {
+    EXPECT_EQ(r.cells[0][mi].unproved, r.cells[0][mi].vertices.count());
+  }
+}
+
+}  // namespace
+}  // namespace parabb

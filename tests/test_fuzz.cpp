@@ -1,0 +1,121 @@
+// Randomized cross-validation ("fuzz") suite: many random configurations
+// of (workload shape, machine size, CCR, laxity) with the B&B engine
+// checked against the exhaustive oracle and against its own invariants.
+#include <gtest/gtest.h>
+
+#include "parabb/bnb/brute_force.hpp"
+#include "parabb/bnb/engine.hpp"
+#include "parabb/bnb/hooks.hpp"
+#include "parabb/deadline/slicing.hpp"
+#include "parabb/sched/edf.hpp"
+#include "parabb/sched/validator.hpp"
+#include "parabb/support/rng.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+namespace {
+
+struct FuzzInstance {
+  TaskGraph graph;
+  int procs;
+};
+
+FuzzInstance random_instance(Rng& rng) {
+  GeneratorConfig cfg;
+  cfg.n_min = cfg.n_max = static_cast<int>(rng.uniform_int(4, 7));
+  cfg.depth_min = cfg.depth_max =
+      static_cast<int>(rng.uniform_int(2, cfg.n_min > 3 ? 4 : 3));
+  cfg.exec_mean = static_cast<double>(rng.uniform_int(5, 40));
+  cfg.exec_dev = rng.uniform_real(0.0, 0.99);
+  cfg.ccr = rng.uniform_real(0.0, 2.0);
+  GeneratedGraph gen = generate_graph(cfg, rng());
+
+  SlicingConfig slicing;
+  slicing.laxity = rng.uniform_real(1.0, 2.0);
+  slicing.base =
+      rng.chance(0.5) ? LaxityBase::kPathWork : LaxityBase::kTotalWork;
+  if (slicing.base == LaxityBase::kTotalWork) slicing.laxity += 0.5;
+  assign_deadlines_slicing(gen.graph, slicing);
+
+  return FuzzInstance{std::move(gen.graph),
+                      static_cast<int>(rng.uniform_int(1, 3))};
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, EngineMatchesOracleUnderRandomConfigs) {
+  Rng rng(derive_seed(0xF022, GetParam()));
+  for (int round = 0; round < 8; ++round) {
+    const FuzzInstance inst = random_instance(rng);
+    const SchedContext ctx(inst.graph,
+                           make_shared_bus_machine(inst.procs));
+    const BruteForceResult oracle = brute_force(ctx);
+
+    // A random but complete engine configuration.
+    Params p;
+    p.select = static_cast<SelectRule>(rng.uniform_int(0, 2));
+    p.lb = static_cast<LowerBound>(rng.uniform_int(0, 2));
+    p.ub = rng.chance(0.5) ? UpperBoundInit::kFromEDF
+                           : UpperBoundInit::kInfinite;
+    p.sort_children = rng.chance(0.5);
+    p.llb_tie_newest = rng.chance(0.5);
+    if (rng.chance(0.3)) p.dominance = make_processor_symmetry_dominance();
+    if (rng.chance(0.3)) p.elim = ElimRule::kNone;
+
+    const SearchResult r = solve_bnb(ctx, p);
+    ASSERT_TRUE(r.found_solution);
+    EXPECT_EQ(r.best_cost, oracle.best_cost)
+        << "round " << round << " cfg " << describe(p) << " m "
+        << inst.procs;
+    EXPECT_TRUE(r.proved);
+    EXPECT_EQ(max_lateness(r.best, inst.graph), r.best_cost);
+    const ValidationReport rep = validate_schedule(
+        r.best, inst.graph, make_shared_bus_machine(inst.procs));
+    EXPECT_TRUE(rep.structurally_sound) << rep.error;
+    EXPECT_EQ(r.certified_lower_bound, r.best_cost);
+  }
+}
+
+TEST_P(Fuzz, ApproximateRulesStayAboveTheOracle) {
+  Rng rng(derive_seed(0xF023, GetParam()));
+  for (int round = 0; round < 8; ++round) {
+    const FuzzInstance inst = random_instance(rng);
+    const SchedContext ctx(inst.graph,
+                           make_shared_bus_machine(inst.procs));
+    const Time opt = brute_force(ctx).best_cost;
+    Params p;
+    p.branch = rng.chance(0.5) ? BranchRule::kDF : BranchRule::kBF1;
+    p.br = rng.chance(0.5) ? 0.0 : rng.uniform_real(0.0, 0.5);
+    const SearchResult r = solve_bnb(ctx, p);
+    ASSERT_TRUE(r.found_solution);
+    EXPECT_GE(r.best_cost, opt);
+    EXPECT_LE(r.best_cost, schedule_edf(ctx).max_lateness);
+  }
+}
+
+TEST_P(Fuzz, BrGuaranteeHoldsUnderRandomConfigs) {
+  Rng rng(derive_seed(0xF024, GetParam()));
+  for (int round = 0; round < 6; ++round) {
+    const FuzzInstance inst = random_instance(rng);
+    const SchedContext ctx(inst.graph,
+                           make_shared_bus_machine(inst.procs));
+    const Time opt = brute_force(ctx).best_cost;
+    Params p;
+    p.br = rng.uniform_real(0.0, 0.4);
+    const SearchResult r = solve_bnb(ctx, p);
+    EXPECT_GE(r.best_cost, opt);
+    const double allowed =
+        p.br * std::max(std::abs(static_cast<double>(r.best_cost)),
+                        std::abs(static_cast<double>(opt))) +
+        1.0;
+    EXPECT_LE(static_cast<double>(r.best_cost - opt), allowed)
+        << "BR " << p.br;
+    // The certificate never exceeds the true optimum.
+    EXPECT_LE(r.certified_lower_bound, opt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(0, 14));
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,143 @@
+#include "parabb/workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/io.hpp"
+#include "parabb/taskgraph/topology.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(Generator, DeterministicFromSeed) {
+  const GeneratedGraph a = generate_graph(paper_config(), 42);
+  const GeneratedGraph b = generate_graph(paper_config(), 42);
+  EXPECT_EQ(to_tgf(a.graph), to_tgf(b.graph));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const GeneratedGraph a = generate_graph(paper_config(), 1);
+  const GeneratedGraph b = generate_graph(paper_config(), 2);
+  EXPECT_NE(to_tgf(a.graph), to_tgf(b.graph));
+}
+
+TEST(Generator, RejectsBadConfigs) {
+  GeneratorConfig c;
+  c.n_min = 10;
+  c.n_max = 5;
+  EXPECT_THROW(generate_graph(c, 0), precondition_error);
+  c = GeneratorConfig{};
+  c.degree_max = 1;
+  EXPECT_THROW(generate_graph(c, 0), precondition_error);
+  c = GeneratorConfig{};
+  c.depth_min = 20;
+  c.depth_max = 25;
+  c.n_min = c.n_max = 16;  // depth cannot exceed n
+  EXPECT_THROW(generate_graph(c, 0), precondition_error);
+  c = GeneratorConfig{};
+  c.ccr = -1;
+  EXPECT_THROW(generate_graph(c, 0), precondition_error);
+}
+
+TEST(Generator, WidthConfigProducesExactGrid) {
+  const GeneratorConfig c = width_config(5, 3);
+  const GeneratedGraph g = generate_graph(c, 7);
+  EXPECT_EQ(g.graph.task_count(), 15);
+  EXPECT_EQ(g.depth, 5);
+  EXPECT_EQ(g.width, 3);
+  const Topology topo = analyze(g.graph);
+  EXPECT_EQ(topo.level_count, 5);
+  for (const auto& lvl : topo.levels) EXPECT_EQ(lvl.size(), 3u);
+}
+
+// Paper §4.1 invariants, swept over many seeds.
+class GeneratorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSweep, PaperWorkloadInvariants) {
+  const GeneratorConfig cfg = paper_config();
+  const GeneratedGraph gen = generate_graph(cfg, GetParam());
+  const TaskGraph& g = gen.graph;
+
+  // 12..16 tasks.
+  EXPECT_GE(g.task_count(), 12);
+  EXPECT_LE(g.task_count(), 16);
+
+  // Depth 8..12 levels (realized).
+  const Topology topo = analyze(g);
+  EXPECT_GE(topo.level_count, 8);
+  EXPECT_LE(topo.level_count, 12);
+  EXPECT_EQ(topo.level_count, gen.depth);
+
+  // Executions within mean*(1±dev) and >= 1.
+  const auto lo = static_cast<Time>(1);
+  const auto hi = static_cast<Time>(40);  // 20 * 1.99 rounded
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    EXPECT_GE(g.task(t).exec, lo);
+    EXPECT_LE(g.task(t).exec, hi);
+  }
+
+  // Degree bounds: non-inputs have 1..3 preds, non-outputs 1..3 succs.
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const auto ins = static_cast<int>(g.preds(t).size());
+    const auto outs = static_cast<int>(g.succs(t).size());
+    EXPECT_LE(ins, cfg.degree_max);
+    EXPECT_LE(outs, cfg.degree_max);
+    if (!g.is_input(t)) {
+      EXPECT_GE(ins, 1);
+    }
+    if (!g.is_output(t)) {
+      EXPECT_GE(outs, 1);
+    }
+  }
+
+  // Acyclic, message sizes non-negative.
+  EXPECT_TRUE(g.is_acyclic());
+  for (const Channel& c : g.arcs()) EXPECT_GE(c.items, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Range<std::uint64_t>(0, 80));
+
+TEST(Generator, CcrIsApproximatelyAchievedOnAverage) {
+  // Across many instances, realized CCR should straddle the target.
+  double total = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const GeneratedGraph g =
+        generate_graph(paper_config(), static_cast<std::uint64_t>(i));
+    total += g.achieved_ccr;
+  }
+  EXPECT_NEAR(total / trials, 1.0, 0.15);
+}
+
+TEST(Generator, CcrZeroMeansNoCommunication) {
+  GeneratorConfig c = paper_config();
+  c.ccr = 0.0;
+  const GeneratedGraph g = generate_graph(c, 3);
+  for (const Channel& ch : g.graph.arcs()) EXPECT_EQ(ch.items, 0);
+  EXPECT_EQ(g.achieved_ccr, 0.0);
+}
+
+TEST(Generator, HighCcrScalesMessages) {
+  GeneratorConfig c = paper_config();
+  c.ccr = 4.0;
+  double total = 0;
+  const int trials = 30;
+  for (int i = 0; i < trials; ++i) {
+    total += generate_graph(c, static_cast<std::uint64_t>(i)).achieved_ccr;
+  }
+  EXPECT_NEAR(total / trials, 4.0, 0.6);
+}
+
+TEST(Generator, AvgExecNearMean) {
+  double total = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    total +=
+        generate_graph(paper_config(), static_cast<std::uint64_t>(i)).avg_exec;
+  }
+  EXPECT_NEAR(total / trials, 20.0, 2.5);
+}
+
+}  // namespace
+}  // namespace parabb

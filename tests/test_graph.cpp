@@ -1,0 +1,138 @@
+#include "parabb/taskgraph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+Task make_task(const char* name, Time exec) {
+  Task t;
+  t.name = name;
+  t.exec = exec;
+  return t;
+}
+
+TEST(TaskGraph, AddTasksAssignsDenseIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(make_task("a", 1)), 0);
+  EXPECT_EQ(g.add_task(make_task("b", 2)), 1);
+  EXPECT_EQ(g.task_count(), 2);
+  EXPECT_EQ(g.task(1).name, "b");
+}
+
+TEST(TaskGraph, ArcsPopulateAdjacency) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  const TaskId b = g.add_task(make_task("b", 1));
+  const TaskId c = g.add_task(make_task("c", 1));
+  g.add_arc(a, b, 10);
+  g.add_arc(a, c, 20);
+  EXPECT_EQ(g.arc_count(), 2);
+  ASSERT_EQ(g.succs(a).size(), 2u);
+  EXPECT_EQ(g.succs(a)[0].other, b);
+  EXPECT_EQ(g.succs(a)[0].items, 10);
+  ASSERT_EQ(g.preds(c).size(), 1u);
+  EXPECT_EQ(g.preds(c)[0].other, a);
+  EXPECT_EQ(g.preds(c)[0].items, 20);
+}
+
+TEST(TaskGraph, InputOutputClassification) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  const TaskId b = g.add_task(make_task("b", 1));
+  g.add_arc(a, b);
+  EXPECT_TRUE(g.is_input(a));
+  EXPECT_FALSE(g.is_output(a));
+  EXPECT_FALSE(g.is_input(b));
+  EXPECT_TRUE(g.is_output(b));
+}
+
+TEST(TaskGraph, ItemsOnArc) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  const TaskId b = g.add_task(make_task("b", 1));
+  g.add_arc(a, b, 7);
+  EXPECT_EQ(g.items_on_arc(a, b), 7);
+  EXPECT_EQ(g.items_on_arc(b, a), kTimeNegInf);
+}
+
+TEST(TaskGraph, TotalWork) {
+  TaskGraph g;
+  g.add_task(make_task("a", 10));
+  g.add_task(make_task("b", 15));
+  EXPECT_EQ(g.total_work(), 25);
+}
+
+TEST(TaskGraph, RejectsSelfLoop) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  EXPECT_THROW(g.add_arc(a, a), precondition_error);
+}
+
+TEST(TaskGraph, RejectsDuplicateArc) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  const TaskId b = g.add_task(make_task("b", 1));
+  g.add_arc(a, b);
+  EXPECT_THROW(g.add_arc(a, b), precondition_error);
+}
+
+TEST(TaskGraph, RejectsBadIds) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  EXPECT_THROW(g.add_arc(a, 5), precondition_error);
+  EXPECT_THROW(g.task(-1), precondition_error);
+  EXPECT_THROW(g.preds(99), precondition_error);
+}
+
+TEST(TaskGraph, RejectsNegativeWeights) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(make_task("a", -1)), precondition_error);
+  const TaskId a = g.add_task(make_task("a", 1));
+  const TaskId b = g.add_task(make_task("b", 1));
+  EXPECT_THROW(g.add_arc(a, b, -5), precondition_error);
+}
+
+TEST(TaskGraph, AcyclicDetection) {
+  TaskGraph g;
+  const TaskId a = g.add_task(make_task("a", 1));
+  const TaskId b = g.add_task(make_task("b", 1));
+  const TaskId c = g.add_task(make_task("c", 1));
+  g.add_arc(a, b);
+  g.add_arc(b, c);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_arc(c, a);  // closes a cycle
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_NE(g.validate(), "");
+}
+
+TEST(TaskGraph, ValidateChecksDeadlineVsPeriod) {
+  TaskGraph g;
+  Task t = make_task("p", 5);
+  t.period = 10;
+  t.rel_deadline = 12;  // d > T violates the window model
+  g.add_task(t);
+  EXPECT_NE(g.validate(), "");
+}
+
+TEST(TaskGraph, EmptyGraphIsValid) {
+  TaskGraph g;
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(TaskInvocations, ArrivalAndDeadline) {
+  Task t;
+  t.phase = 100;
+  t.period = 50;
+  t.rel_deadline = 30;
+  EXPECT_EQ(t.arrival(1), 100);
+  EXPECT_EQ(t.arrival(3), 200);
+  EXPECT_EQ(t.abs_deadline(1), 130);
+  EXPECT_EQ(t.abs_deadline(3), 230);
+}
+
+}  // namespace
+}  // namespace parabb

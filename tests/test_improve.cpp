@@ -1,0 +1,114 @@
+#include "parabb/sched/improve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/sched/edf.hpp"
+#include "parabb/sched/validator.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(RetimeOrders, ReproducesScheduleFromItsOwnOrders) {
+  const TaskGraph g = test::paper_instance(1);
+  const SchedContext ctx = test::make_ctx(g, 3);
+  const EdfResult edf = schedule_edf(ctx);
+  std::vector<std::vector<TaskId>> orders(3);
+  for (ProcId p = 0; p < 3; ++p) {
+    for (const ScheduledTask& e : edf.schedule.proc_sequence(p))
+      orders[static_cast<std::size_t>(p)].push_back(e.task);
+  }
+  const auto retimed = retime_orders(ctx, orders);
+  ASSERT_TRUE(retimed.has_value());
+  for (TaskId t = 0; t < ctx.task_count(); ++t) {
+    EXPECT_EQ(retimed->entry(t).start, edf.schedule.entry(t).start);
+    EXPECT_EQ(retimed->entry(t).proc, edf.schedule.entry(t).proc);
+  }
+}
+
+TEST(RetimeOrders, DetectsDeadlock) {
+  // b before a on one processor while a ≺ b: impossible.
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 5, 100, 0)
+                          .task("b", 5, 100, 0)
+                          .arc("a", "b")
+                          .build();
+  const SchedContext ctx = test::make_ctx(g, 1);
+  EXPECT_FALSE(retime_orders(ctx, {{1, 0}}).has_value());
+}
+
+TEST(RetimeOrders, ValidatesCoverage) {
+  const SchedContext ctx = test::make_ctx(test::independent_tasks(2), 2);
+  EXPECT_THROW(retime_orders(ctx, {{0}, {}}), precondition_error);
+  EXPECT_THROW(retime_orders(ctx, {{0, 1, 0}, {}}), precondition_error);
+  EXPECT_THROW(retime_orders(ctx, {{0, 1}}), precondition_error);
+}
+
+TEST(Improve, FixesTheQuickstartTrap) {
+  // Same instance as examples/quickstart: EDF gets +5, optimum is +1.
+  const TaskGraph g = GraphBuilder()
+                          .task("urgent1", 10, 12)
+                          .task("urgent2", 10, 14)
+                          .task("root", 5, 30)
+                          .task("chainA", 15, 25)
+                          .task("chainB", 15, 40)
+                          .chain({"root", "chainA", "chainB"})
+                          .build();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const EdfResult edf = schedule_edf(ctx);
+  ASSERT_EQ(edf.max_lateness, 5);
+  const ImproveResult imp = improve_schedule(ctx, edf.schedule);
+  EXPECT_LT(imp.max_lateness, edf.max_lateness);
+  EXPECT_GT(imp.moves_applied, 0);
+  EXPECT_EQ(imp.max_lateness, max_lateness(imp.schedule, g));
+}
+
+TEST(Improve, NeverWorsensAndStaysSound) {
+  for (std::uint64_t seed = 600; seed < 612; ++seed) {
+    const TaskGraph g = test::tight_instance(seed);
+    const Machine machine = make_shared_bus_machine(3);
+    const SchedContext ctx(g, machine);
+    const EdfResult edf = schedule_edf(ctx);
+    const ImproveResult imp = improve_schedule(ctx, edf.schedule);
+    EXPECT_LE(imp.max_lateness, edf.max_lateness) << "seed " << seed;
+    const ValidationReport rep =
+        validate_schedule(imp.schedule, g, machine);
+    EXPECT_TRUE(rep.structurally_sound) << rep.error;
+  }
+}
+
+TEST(Improve, NeverBeatsTheProvedOptimum) {
+  for (std::uint64_t seed = 600; seed < 606; ++seed) {
+    const TaskGraph g = test::tight_instance(seed);
+    const SchedContext ctx = test::make_ctx(g, 2);
+    Params p;
+    p.rb.time_limit_s = 5.0;
+    const SearchResult opt = solve_bnb(ctx, p);
+    if (!opt.proved) continue;
+    const ImproveResult imp =
+        improve_schedule(ctx, schedule_edf(ctx).schedule);
+    EXPECT_GE(imp.max_lateness, opt.best_cost) << "seed " << seed;
+  }
+}
+
+TEST(Improve, ZeroBudgetIsIdentity) {
+  const TaskGraph g = test::tight_instance(3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const EdfResult edf = schedule_edf(ctx);
+  const ImproveResult imp =
+      improve_schedule(ctx, edf.schedule, /*max_moves=*/0);
+  EXPECT_EQ(imp.max_lateness, edf.max_lateness);
+  EXPECT_EQ(imp.moves_applied, 0);
+}
+
+TEST(Improve, ReachesLocalOptimumFlag) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const ImproveResult imp =
+      improve_schedule(ctx, schedule_edf(ctx).schedule, 1000);
+  EXPECT_TRUE(imp.local_optimum);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,111 @@
+#include "parabb/support/inline_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace parabb {
+namespace {
+
+TEST(InlineVector, BasicPushPop) {
+  InlineVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(InlineVector, InitializerList) {
+  const InlineVector<int, 8> v{3, 1, 4};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(InlineVector, FillToCapacity) {
+  InlineVector<int, 3> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_TRUE(v.full());
+  EXPECT_EQ(v.capacity(), 3u);
+}
+
+TEST(InlineVector, RangeFor) {
+  InlineVector<int, 4> v{10, 20, 30};
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 60);
+}
+
+TEST(InlineVector, NonTrivialElementsDestroyed) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    explicit Probe(std::shared_ptr<int> cc) : c(std::move(cc)) { ++*c; }
+    Probe(const Probe& o) : c(o.c) { ++*c; }
+    ~Probe() { --*c; }
+  };
+  {
+    InlineVector<Probe, 4> v;
+    v.emplace_back(counter);
+    v.emplace_back(counter);
+    EXPECT_EQ(*counter, 2);
+    v.pop_back();
+    EXPECT_EQ(*counter, 1);
+  }
+  EXPECT_EQ(*counter, 0);
+}
+
+TEST(InlineVector, CopySemantics) {
+  InlineVector<std::string, 4> a{"x", "y"};
+  InlineVector<std::string, 4> b(a);
+  EXPECT_EQ(a, b);
+  b.push_back("z");
+  EXPECT_NE(a, b);
+  a = b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(InlineVector, MoveSemantics) {
+  InlineVector<std::string, 4> a{"hello", "world"};
+  InlineVector<std::string, 4> b(std::move(a));
+  EXPECT_TRUE(a.empty());
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], "hello");
+  a = std::move(b);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(InlineVector, SelfAssignment) {
+  InlineVector<int, 4> v{1, 2};
+  v = *&v;
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(InlineVector, Resize) {
+  InlineVector<int, 8> v;
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(InlineVector, ClearDestroysAll) {
+  InlineVector<int, 4> v{1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+}  // namespace
+}  // namespace parabb

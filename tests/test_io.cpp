@@ -1,0 +1,119 @@
+#include "parabb/taskgraph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+namespace {
+
+TaskGraph sample() {
+  return GraphBuilder()
+      .task("src", 10, 25, 0)
+      .task("mid", 20, 45, 12)
+      .task("dst", 5)
+      .arc("src", "mid", 7)
+      .arc("mid", "dst")
+      .build();
+}
+
+TEST(Tgf, RoundTripPreservesEverything) {
+  const TaskGraph g = sample();
+  const TaskGraph h = from_tgf(to_tgf(g));
+  ASSERT_EQ(h.task_count(), g.task_count());
+  ASSERT_EQ(h.arc_count(), g.arc_count());
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    EXPECT_EQ(h.task(t).name, g.task(t).name);
+    EXPECT_EQ(h.task(t).exec, g.task(t).exec);
+    EXPECT_EQ(h.task(t).phase, g.task(t).phase);
+    EXPECT_EQ(h.task(t).rel_deadline, g.task(t).rel_deadline);
+    EXPECT_EQ(h.task(t).period, g.task(t).period);
+  }
+  EXPECT_EQ(h.items_on_arc(0, 1), 7);
+  EXPECT_EQ(h.items_on_arc(1, 2), 0);
+}
+
+TEST(Tgf, RoundTripRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const GeneratedGraph gen = generate_graph(paper_config(), seed);
+    const TaskGraph h = from_tgf(to_tgf(gen.graph));
+    EXPECT_EQ(h.task_count(), gen.graph.task_count());
+    EXPECT_EQ(h.arc_count(), gen.graph.arc_count());
+    for (const Channel& c : gen.graph.arcs()) {
+      EXPECT_EQ(h.items_on_arc(c.from, c.to), c.items);
+    }
+  }
+}
+
+TEST(Tgf, ParsesCommentsAndBlankLines) {
+  const TaskGraph g = from_tgf(
+      "# a comment\n"
+      "\n"
+      "task a exec=5\n"
+      "task b exec=6 deadline=20\n"
+      "arc a b items=3\n");
+  EXPECT_EQ(g.task_count(), 2);
+  EXPECT_EQ(g.task(1).rel_deadline, 20);
+  EXPECT_EQ(g.items_on_arc(0, 1), 3);
+}
+
+TEST(Tgf, ErrorsCarryLineNumbers) {
+  try {
+    from_tgf("task a exec=5\nbogus line here\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Tgf, RejectsMissingExec) {
+  EXPECT_THROW(from_tgf("task a\n"), std::runtime_error);
+  EXPECT_THROW(from_tgf("task a deadline=5\n"), std::runtime_error);
+}
+
+TEST(Tgf, RejectsUnknownTaskInArc) {
+  EXPECT_THROW(from_tgf("task a exec=1\narc a ghost\n"), std::runtime_error);
+}
+
+TEST(Tgf, RejectsDuplicateTask) {
+  EXPECT_THROW(from_tgf("task a exec=1\ntask a exec=2\n"),
+               std::runtime_error);
+}
+
+TEST(Tgf, RejectsCycle) {
+  EXPECT_THROW(from_tgf("task a exec=1\ntask b exec=1\n"
+                        "arc a b\narc b a\n"),
+               std::runtime_error);
+}
+
+TEST(Tgf, RejectsBadInteger) {
+  EXPECT_THROW(from_tgf("task a exec=xyz\n"), std::runtime_error);
+}
+
+TEST(Tgf, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/parabb_io_test.tgf";
+  const TaskGraph g = sample();
+  save_tgf(g, path);
+  const TaskGraph h = load_tgf(path);
+  EXPECT_EQ(h.task_count(), g.task_count());
+  std::remove(path.c_str());
+}
+
+TEST(Tgf, LoadMissingFileThrows) {
+  EXPECT_THROW(load_tgf("/no/such/file.tgf"), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const std::string dot = to_dot(sample());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("src"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"7\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parabb

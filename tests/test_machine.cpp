@@ -1,0 +1,54 @@
+#include "parabb/platform/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(CommModel, ZeroCostsNothing) {
+  const CommModel m = CommModel::zero();
+  EXPECT_EQ(m.delay(0), 0);
+  EXPECT_EQ(m.delay(1000), 0);
+  EXPECT_EQ(m.per_item_delay(), 0);
+}
+
+TEST(CommModel, PerItemScalesLinearly) {
+  const CommModel m = CommModel::per_item(3);
+  EXPECT_EQ(m.delay(0), 0);
+  EXPECT_EQ(m.delay(1), 3);
+  EXPECT_EQ(m.delay(10), 30);
+}
+
+TEST(CommModel, PaperDefaultIsOneUnitPerItem) {
+  const CommModel m = CommModel::per_item();
+  EXPECT_EQ(m.delay(7), 7);
+}
+
+TEST(CommModel, Equality) {
+  EXPECT_EQ(CommModel::per_item(1), CommModel::per_item(1));
+  EXPECT_NE(CommModel::per_item(1), CommModel::per_item(2));
+  EXPECT_EQ(CommModel::zero(), CommModel::per_item(0));
+}
+
+TEST(Machine, SharedBusFactory) {
+  const Machine m = make_shared_bus_machine(3);
+  EXPECT_EQ(m.procs, 3);
+  EXPECT_EQ(m.comm.per_item_delay(), 1);
+}
+
+TEST(Machine, FactoryRejectsBadSizes) {
+  EXPECT_THROW(make_shared_bus_machine(0), precondition_error);
+  EXPECT_THROW(make_shared_bus_machine(kMaxProcs + 1), precondition_error);
+}
+
+TEST(Machine, DescribeMentionsSizeAndBus) {
+  const Machine m = make_shared_bus_machine(4);
+  const std::string d = m.describe();
+  EXPECT_NE(d.find("4"), std::string::npos);
+  EXPECT_NE(d.find("bus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,114 @@
+#include "parabb/bnb/parallel_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/bnb/brute_force.hpp"
+#include "parabb/sched/validator.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(ParallelEngine, MatchesBruteForceOnTinyInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const TaskGraph g = test::tiny_random(seed, 6, 3);
+    const SchedContext ctx = test::make_ctx(g, 2);
+    ParallelParams pp;
+    pp.threads = 4;
+    const ParallelResult r = solve_bnb_parallel(ctx, pp);
+    ASSERT_TRUE(r.found_solution);
+    EXPECT_TRUE(r.proved);
+    EXPECT_EQ(r.best_cost, brute_force(ctx).best_cost) << "seed " << seed;
+  }
+}
+
+TEST(ParallelEngine, MatchesSequentialOnPaperInstances) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const TaskGraph g = test::paper_instance(seed);
+    const SchedContext ctx = test::make_ctx(g, 3);
+    const SearchResult seq = solve_bnb(ctx, Params{});
+    ParallelParams pp;
+    pp.threads = 4;
+    const ParallelResult par = solve_bnb_parallel(ctx, pp);
+    EXPECT_EQ(par.best_cost, seq.best_cost) << "seed " << seed;
+    EXPECT_TRUE(par.proved);
+  }
+}
+
+TEST(ParallelEngine, SingleThreadWorks) {
+  const TaskGraph g = test::paper_instance(21);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  ParallelParams pp;
+  pp.threads = 1;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_EQ(r.threads_used, 1);
+  EXPECT_EQ(r.best_cost, solve_bnb(ctx, Params{}).best_cost);
+}
+
+TEST(ParallelEngine, BestScheduleIsSound) {
+  const TaskGraph g = test::paper_instance(23);
+  const Machine machine = make_shared_bus_machine(3);
+  const SchedContext ctx(g, machine);
+  ParallelParams pp;
+  pp.threads = 3;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  ASSERT_TRUE(r.found_solution);
+  const ValidationReport rep = validate_schedule(r.best, g, machine);
+  EXPECT_TRUE(rep.structurally_sound) << rep.error;
+  EXPECT_EQ(max_lateness(r.best, g), r.best_cost);
+}
+
+TEST(ParallelEngine, TimeLimitTerminates) {
+  const TaskGraph g = test::paper_instance(25);
+  const SchedContext ctx = test::make_ctx(g, 4);
+  ParallelParams pp;
+  pp.threads = 4;
+  pp.base.rb.time_limit_s = 0.0;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_TRUE(r.found_solution);  // EDF seed
+  // Either it finished instantly (tiny search) or the limit tripped.
+  if (r.reason == TerminationReason::kTimeLimit) {
+    EXPECT_FALSE(r.proved);
+  }
+}
+
+TEST(ParallelEngine, InfiniteUpperBoundFindsOptimum) {
+  const TaskGraph g = test::tiny_random(30, 6, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  ParallelParams pp;
+  pp.threads = 2;
+  pp.base.ub = UpperBoundInit::kInfinite;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  ASSERT_TRUE(r.found_solution);
+  EXPECT_EQ(r.best_cost, brute_force(ctx).best_cost);
+}
+
+TEST(ParallelEngine, BrGuaranteeHolds) {
+  const TaskGraph g = test::tiny_random(31, 7, 3);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Time opt = brute_force(ctx).best_cost;
+  ParallelParams pp;
+  pp.threads = 4;
+  pp.base.br = 0.10;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_GE(r.best_cost, opt);
+  const double allowed =
+      0.10 * std::max(std::abs(static_cast<double>(r.best_cost)),
+                      std::abs(static_cast<double>(opt))) +
+      1.0;
+  EXPECT_LE(static_cast<double>(r.best_cost - opt), allowed);
+}
+
+TEST(ParallelEngine, StatsAreMerged) {
+  const TaskGraph g = test::tight_instance(27);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  ParallelParams pp;
+  pp.threads = 4;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_GT(r.stats.expanded, 0u);
+  EXPECT_GT(r.stats.generated, r.stats.expanded);
+  EXPECT_GE(r.stats.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace parabb

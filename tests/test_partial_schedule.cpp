@@ -1,0 +1,123 @@
+#include "parabb/sched/partial_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(PartialSchedule, EmptyState) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  const PartialSchedule ps = PartialSchedule::empty(ctx);
+  EXPECT_EQ(ps.count(), 0);
+  EXPECT_FALSE(ps.complete(ctx));
+  EXPECT_TRUE(ps.scheduled().empty());
+  EXPECT_TRUE(ps.ready().contains(0));
+  EXPECT_EQ(ps.ready().size(), 1);
+  EXPECT_EQ(ps.proc_avail(0), 0);
+  EXPECT_EQ(ps.min_proc_avail(ctx), 0);
+  EXPECT_EQ(ps.max_lateness_scheduled(ctx), kTimeNegInf);
+}
+
+TEST(PartialSchedule, PlaceRespectsArrival) {
+  // Task b arrives at t=10 even though P0 is free at 0.
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  EXPECT_EQ(ps.place(ctx, 0, 0), 0);  // a on P0: [0,10)
+  // b arrives at 10, pred a finishes at 10 (same proc, no comm).
+  EXPECT_EQ(ps.earliest_start(ctx, 1, 0), 10);
+  // On P1 the cross-proc message (5 items) delays data to t=15.
+  EXPECT_EQ(ps.earliest_start(ctx, 1, 1), 15);
+}
+
+TEST(PartialSchedule, PlaceAppendsAfterProcessorTail) {
+  const SchedContext ctx = test::make_ctx(test::independent_tasks(3), 1);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  EXPECT_EQ(ps.place(ctx, 0, 0), 0);
+  EXPECT_EQ(ps.place(ctx, 1, 0), 10);  // appended after task 0
+  EXPECT_EQ(ps.place(ctx, 2, 0), 20);
+  EXPECT_EQ(ps.proc_avail(0), 30);
+  EXPECT_TRUE(ps.complete(ctx));
+}
+
+TEST(PartialSchedule, ReadySetEvolves) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);
+  EXPECT_TRUE(ps.ready().contains(1));
+  EXPECT_TRUE(ps.ready().contains(2));
+  EXPECT_FALSE(ps.ready().contains(3));
+  ps.place(ctx, 1, 0);
+  EXPECT_FALSE(ps.ready().contains(3));  // c still missing
+  ps.place(ctx, 2, 1);
+  EXPECT_TRUE(ps.ready().contains(3));
+}
+
+TEST(PartialSchedule, CommChargedOnlyAcrossProcessors) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule same = PartialSchedule::empty(ctx);
+  same.place(ctx, 0, 0);
+  same.place(ctx, 1, 0);  // a,b co-located: b starts at 10
+  EXPECT_EQ(same.start(1), 10);
+
+  PartialSchedule cross = PartialSchedule::empty(ctx);
+  cross.place(ctx, 0, 0);
+  cross.place(ctx, 1, 1);  // b remote: data arrives 10+5
+  EXPECT_EQ(cross.start(1), 15);
+}
+
+TEST(PartialSchedule, FinishIsStartPlusExec) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 1);
+  EXPECT_EQ(ps.finish(ctx, 0), ps.start(0) + 10);
+  EXPECT_EQ(ps.proc(0), 1);
+}
+
+TEST(PartialSchedule, MaxLatenessTracksScheduledPrefix) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);  // finish 10, deadline 15 -> lateness -5
+  EXPECT_EQ(ps.max_lateness_scheduled(ctx), -5);
+  ps.place(ctx, 1, 0);  // [10,30), deadline 50 -> -20; max stays -5
+  EXPECT_EQ(ps.max_lateness_scheduled(ctx), -5);
+}
+
+TEST(PartialSchedule, MinProcAvailIsAdaptive) {
+  const SchedContext ctx = test::make_ctx(test::independent_tasks(4), 3);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);
+  ps.place(ctx, 1, 1);
+  EXPECT_EQ(ps.min_proc_avail(ctx), 0);  // P2 untouched
+  ps.place(ctx, 2, 2);
+  EXPECT_EQ(ps.min_proc_avail(ctx), 10);
+}
+
+TEST(PartialSchedule, EqualityComparesPlacementsOnly) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule a = PartialSchedule::empty(ctx);
+  PartialSchedule b = PartialSchedule::empty(ctx);
+  EXPECT_EQ(a, b);
+  a.place(ctx, 0, 0);
+  EXPECT_NE(a, b);
+  b.place(ctx, 0, 0);
+  EXPECT_EQ(a, b);
+  // Same task on a different processor differs.
+  PartialSchedule c = PartialSchedule::empty(ctx);
+  c.place(ctx, 0, 1);
+  EXPECT_NE(a, c);
+}
+
+TEST(PartialSchedule, CopyIsIndependent) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule a = PartialSchedule::empty(ctx);
+  a.place(ctx, 0, 0);
+  PartialSchedule b = a;
+  b.place(ctx, 1, 0);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(b.count(), 2);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,133 @@
+#include "parabb/taskgraph/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/taskgraph/topology.hpp"
+
+namespace parabb {
+namespace {
+
+TaskGraph periodic_pair(Time period_a, Time period_b) {
+  return GraphBuilder()
+      .task("a", 5, /*rel_deadline=*/10, /*phase=*/0, /*period=*/period_a)
+      .task("b", 5, 10, 0, period_b)
+      .arc("a", "b", 3)
+      .build();
+}
+
+TEST(Hyperperiod, EqualPeriodsUnrollOnce) {
+  const HyperperiodExpansion e = expand_hyperperiod(periodic_pair(20, 20));
+  EXPECT_EQ(e.hyperperiod, 20);
+  EXPECT_EQ(e.invocations, 1);
+  EXPECT_EQ(e.jobs.task_count(), 2);
+  EXPECT_EQ(e.jobs.arc_count(), 1);
+}
+
+TEST(Hyperperiod, MultipleInvocationsChainAndReplicate) {
+  TaskGraph g = GraphBuilder()
+                    .task("a", 3, 10, 0, 10)
+                    .task("b", 3, 10, 0, 10)
+                    .arc("a", "b", 2)
+                    .build();
+  // Disconnected second component with period 5 -> hyperperiod 10.
+  Task solo;
+  solo.name = "s";
+  solo.exec = 1;
+  solo.rel_deadline = 5;
+  solo.period = 5;
+  g.add_task(solo);
+
+  const HyperperiodExpansion e = expand_hyperperiod(g);
+  EXPECT_EQ(e.hyperperiod, 10);
+  EXPECT_EQ(e.invocations, 2);
+  // a#1, b#1, s#1, s#2 -> 4 jobs; arcs: a#1->b#1 and s#1->s#2 chain.
+  EXPECT_EQ(e.jobs.task_count(), 4);
+  EXPECT_EQ(e.jobs.arc_count(), 2);
+  EXPECT_TRUE(e.jobs.is_acyclic());
+}
+
+TEST(Hyperperiod, JobPhasesFollowInvocationIndex) {
+  TaskGraph g;
+  Task t;
+  t.name = "p";
+  t.exec = 2;
+  t.rel_deadline = 8;
+  t.phase = 1;
+  t.period = 10;
+  g.add_task(t);
+  Task q = t;
+  q.name = "q";
+  q.period = 5;
+  q.rel_deadline = 4;
+  g.add_task(q);
+
+  const HyperperiodExpansion e = expand_hyperperiod(g);
+  EXPECT_EQ(e.hyperperiod, 10);
+  // q has 2 jobs with phases 1 and 6.
+  bool saw_first = false, saw_second = false;
+  for (TaskId j = 0; j < e.jobs.task_count(); ++j) {
+    if (e.jobs.task(j).name == "q#1") {
+      EXPECT_EQ(e.jobs.task(j).phase, 1);
+      saw_first = true;
+    }
+    if (e.jobs.task(j).name == "q#2") {
+      EXPECT_EQ(e.jobs.task(j).phase, 6);
+      saw_second = true;
+    }
+  }
+  EXPECT_TRUE(saw_first && saw_second);
+}
+
+TEST(Hyperperiod, ConsecutiveInvocationsArePrecedenceChained) {
+  TaskGraph g;
+  Task t;
+  t.name = "x";
+  t.exec = 1;
+  t.rel_deadline = 3;
+  t.period = 4;
+  g.add_task(t);
+  Task u = t;
+  u.name = "y";
+  u.period = 8;
+  g.add_task(u);
+
+  const HyperperiodExpansion e = expand_hyperperiod(g);
+  const Topology topo = analyze(e.jobs);
+  // x#1 -> x#2 chain gives depth 2.
+  EXPECT_EQ(topo.level_count, 2);
+}
+
+TEST(Hyperperiod, RejectsAperiodicTasks) {
+  TaskGraph g;
+  Task t;
+  t.name = "a";
+  t.exec = 1;
+  g.add_task(t);  // period 0
+  EXPECT_THROW(expand_hyperperiod(g), precondition_error);
+}
+
+TEST(Hyperperiod, RejectsDeadlineBeyondPeriod) {
+  TaskGraph g;
+  Task t;
+  t.name = "a";
+  t.exec = 1;
+  t.period = 5;
+  t.rel_deadline = 9;
+  g.add_task(t);
+  EXPECT_THROW(expand_hyperperiod(g), precondition_error);
+}
+
+TEST(Hyperperiod, RejectsMixedPeriodsAcrossArc) {
+  EXPECT_THROW(expand_hyperperiod(periodic_pair(10, 20)),
+               precondition_error);
+}
+
+TEST(Hyperperiod, RejectsEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW(expand_hyperperiod(g), precondition_error);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,119 @@
+#include "parabb/experiments/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+PlotConfig small() {
+  PlotConfig c;
+  c.title = "test";
+  c.y_label = "y";
+  c.height = 6;
+  c.width = 24;
+  return c;
+}
+
+TEST(Plot, RendersMarksAndLegend) {
+  const std::string out = render_plot(
+      small(), {"2", "3", "4"},
+      {{"alpha", {1.0, 2.0, 3.0}}, {"beta", {3.0, 2.0, 1.0}}});
+  EXPECT_NE(out.find("a = alpha"), std::string::npos);
+  EXPECT_NE(out.find("b = beta"), std::string::npos);
+  // Both marks appear somewhere in the canvas.
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+  // X labels on the axis row.
+  EXPECT_NE(out.find('2'), std::string::npos);
+  EXPECT_NE(out.find('4'), std::string::npos);
+}
+
+TEST(Plot, LogScaleHandlesZeros) {
+  PlotConfig c = small();
+  c.log_y = true;
+  const std::string out =
+      render_plot(c, {"1", "2"}, {{"s", {0.0, 1000.0}}});
+  EXPECT_NE(out.find("log scale"), std::string::npos);
+}
+
+TEST(Plot, MissingPointsSkipped) {
+  const std::string out = render_plot(
+      small(), {"1", "2"}, {{"s", {std::nan(""), 5.0}}});
+  // Exactly one mark drawn on the canvas (canvas lines contain '|').
+  std::size_t count = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find('|') == std::string::npos) continue;
+    for (const char ch : line) {
+      if (ch == 'a') ++count;
+    }
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Plot, AllMissingProducesNoDataMessage) {
+  const std::string out = render_plot(
+      small(), {"1"}, {{"s", {std::nan("")}}});
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(Plot, ConstantSeriesDoesNotDivideByZero) {
+  const std::string out =
+      render_plot(small(), {"1", "2"}, {{"s", {7.0, 7.0}}});
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(Plot, ValidatesInput) {
+  EXPECT_THROW(render_plot(small(), {}, {{"s", {}}}), precondition_error);
+  EXPECT_THROW(render_plot(small(), {"1"}, {}), precondition_error);
+  EXPECT_THROW(render_plot(small(), {"1", "2"}, {{"s", {1.0}}}),
+               precondition_error);
+  PlotConfig tiny = small();
+  tiny.height = 1;
+  EXPECT_THROW(render_plot(tiny, {"1"}, {{"s", {1.0}}}),
+               precondition_error);
+}
+
+TEST(Plot, SingleXPositionCenters) {
+  const std::string out = render_plot(small(), {"4"}, {{"s", {2.0}}});
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(Plot, PaperFigureRendersBothPanels) {
+  // Minimal experiment result shaped like the figure benches produce.
+  ExperimentConfig cfg;
+  cfg.machine_sizes = {2, 3, 4};
+  AlgorithmVariant v1;
+  v1.label = "LIFO";
+  AlgorithmVariant v2;
+  v2.label = "LLB";
+  cfg.variants = {v1, v2};
+
+  ExperimentResult result;
+  result.cells.assign(2, std::vector<CellStats>(3));
+  for (std::size_t v = 0; v < 2; ++v) {
+    for (std::size_t mi = 0; mi < 3; ++mi) {
+      for (int rep = 0; rep < 3; ++rep) {
+        result.cells[v][mi].vertices.add(
+            100.0 * static_cast<double>((v + 1) * (mi + 1)) + rep);
+        result.cells[v][mi].lateness.add(-2.0 - static_cast<double>(mi));
+      }
+    }
+  }
+
+  const std::string fig = render_paper_figure(cfg, result, "Fig. X");
+  EXPECT_NE(fig.find("searched vertices"), std::string::npos);
+  EXPECT_NE(fig.find("max task lateness"), std::string::npos);
+  EXPECT_NE(fig.find("log scale"), std::string::npos);
+  EXPECT_NE(fig.find("a = LIFO"), std::string::npos);
+  EXPECT_NE(fig.find("b = LLB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,106 @@
+#include "parabb/support/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace parabb {
+namespace {
+
+TEST(SlotPool, AllocateReleaseCycle) {
+  SlotPool pool(16);
+  const SlotRef a = pool.allocate();
+  EXPECT_TRUE(pool.is_live(a));
+  EXPECT_EQ(pool.live_count(), 1u);
+  pool.release(a);
+  EXPECT_FALSE(pool.is_live(a));
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(SlotPool, StaleHandleDetected) {
+  SlotPool pool(16);
+  const SlotRef a = pool.allocate();
+  pool.release(a);
+  const SlotRef b = pool.allocate();  // recycles the slot
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_NE(a.generation, b.generation);
+  EXPECT_FALSE(pool.is_live(a));
+  EXPECT_TRUE(pool.is_live(b));
+}
+
+TEST(SlotPool, PayloadIsStableAndDistinct) {
+  SlotPool pool(sizeof(int));
+  std::vector<SlotRef> refs;
+  for (int i = 0; i < 100; ++i) {
+    refs.push_back(pool.allocate());
+    *static_cast<int*>(pool.get(refs.back())) = i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*static_cast<const int*>(
+                  pool.get(refs[static_cast<std::size_t>(i)])),
+              i);
+  }
+}
+
+TEST(SlotPool, GrowsAcrossChunks) {
+  SlotPool pool(8, /*slots_per_chunk=*/4);
+  std::vector<SlotRef> refs;
+  for (int i = 0; i < 50; ++i) refs.push_back(pool.allocate());
+  EXPECT_EQ(pool.live_count(), 50u);
+  EXPECT_GE(pool.capacity(), 50u);
+  for (const SlotRef r : refs) pool.release(r);
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(SlotPool, RecyclesFreedSlotsBeforeGrowing) {
+  SlotPool pool(8, 4);
+  std::vector<SlotRef> refs;
+  for (int i = 0; i < 4; ++i) refs.push_back(pool.allocate());
+  const std::size_t cap = pool.capacity();
+  for (const SlotRef r : refs) pool.release(r);
+  for (int i = 0; i < 4; ++i) pool.allocate();
+  EXPECT_EQ(pool.capacity(), cap);  // no growth needed
+}
+
+TEST(SlotPool, HandlesSurviveGrowth) {
+  SlotPool pool(sizeof(long), 2);
+  const SlotRef first = pool.allocate();
+  *static_cast<long*>(pool.get(first)) = 0x1234;
+  for (int i = 0; i < 64; ++i) pool.allocate();  // force many chunk growths
+  EXPECT_EQ(*static_cast<const long*>(pool.get(first)), 0x1234);
+}
+
+TEST(SlotPool, MemoryAccountingGrowsMonotonically) {
+  SlotPool pool(64, 16);
+  const std::size_t m0 = pool.memory_bytes();
+  for (int i = 0; i < 100; ++i) pool.allocate();
+  EXPECT_GT(pool.memory_bytes(), m0);
+}
+
+TEST(SlotPool, ResetInvalidatesEverything) {
+  SlotPool pool(16);
+  const SlotRef a = pool.allocate();
+  const SlotRef b = pool.allocate();
+  pool.reset();
+  EXPECT_FALSE(pool.is_live(a));
+  EXPECT_FALSE(pool.is_live(b));
+  EXPECT_EQ(pool.live_count(), 0u);
+  const SlotRef c = pool.allocate();
+  EXPECT_TRUE(pool.is_live(c));
+}
+
+TEST(SlotPool, RejectsBadConfig) {
+  EXPECT_THROW(SlotPool(0), precondition_error);
+  EXPECT_THROW(SlotPool(8, 0), precondition_error);
+}
+
+TEST(SlotPool, SlotBytesAreAligned) {
+  SlotPool pool(1);
+  EXPECT_EQ(pool.slot_bytes() % alignof(std::max_align_t), 0u);
+  EXPECT_GE(pool.slot_bytes(), 1u);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,73 @@
+#include "parabb/workload/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/topology.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(Presets, Diamond) {
+  const TaskGraph g = preset_diamond();
+  EXPECT_EQ(g.task_count(), 4);
+  EXPECT_EQ(g.arc_count(), 4);
+  const Topology topo = analyze(g);
+  EXPECT_EQ(topo.level_count, 3);
+  EXPECT_EQ(topo.width, 2);
+}
+
+TEST(Presets, ChainShape) {
+  const TaskGraph g = preset_chain(6, 10, 4);
+  EXPECT_EQ(g.task_count(), 6);
+  EXPECT_EQ(g.arc_count(), 5);
+  const Topology topo = analyze(g);
+  EXPECT_EQ(topo.level_count, 6);
+  EXPECT_EQ(topo.width, 1);
+  EXPECT_EQ(topo.critical_path, 60);
+}
+
+TEST(Presets, SingleStageChain) {
+  const TaskGraph g = preset_chain(1);
+  EXPECT_EQ(g.task_count(), 1);
+  EXPECT_EQ(g.arc_count(), 0);
+}
+
+TEST(Presets, ForkJoinShape) {
+  const TaskGraph g = preset_fork_join(5, 10, 2);
+  EXPECT_EQ(g.task_count(), 7);
+  EXPECT_EQ(g.arc_count(), 10);
+  const Topology topo = analyze(g);
+  EXPECT_EQ(topo.level_count, 3);
+  EXPECT_EQ(topo.width, 5);
+}
+
+TEST(Presets, DspPipelineIsValid) {
+  const TaskGraph g = preset_dsp_pipeline();
+  EXPECT_EQ(g.task_count(), 9);
+  EXPECT_EQ(g.validate(), "");
+  const Topology topo = analyze(g);
+  EXPECT_EQ(topo.inputs.size(), 2u);   // two sensors
+  EXPECT_EQ(topo.outputs.size(), 1u);  // one actuator
+}
+
+TEST(Presets, GaussianEliminationShape) {
+  const int k = 5;
+  const TaskGraph g = preset_gaussian_elimination(k);
+  EXPECT_EQ(g.task_count(), (k - 1) + k * (k - 1) / 2);
+  EXPECT_EQ(g.validate(), "");
+  const Topology topo = analyze(g);
+  // Pivots form a dependency chain through updates: depth grows with k.
+  EXPECT_GE(topo.level_count, k - 1);
+}
+
+TEST(Presets, GaussianRejectsTinyK) {
+  EXPECT_THROW(preset_gaussian_elimination(1), precondition_error);
+}
+
+TEST(Presets, ForkJoinRejectsZeroBranches) {
+  EXPECT_THROW(preset_fork_join(0), precondition_error);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,143 @@
+#include "parabb/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace parabb {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DeriveSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 1000; ++s) seen.insert(derive_seed(7, s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeed, IsPureFunction) {
+  EXPECT_EQ(derive_seed(123, 456), derive_seed(123, 456));
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(5);
+  std::array<int, 10> hits{};
+  for (int i = 0; i < 20000; ++i)
+    ++hits[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (const int h : hits) EXPECT_GT(h, 1500);  // ~2000 expected
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(6);
+  int yes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++yes;
+  EXPECT_NEAR(static_cast<double>(yes) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<int> orig = v;
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(8);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> orig = v;
+  rng.shuffle(std::span<int>(v));
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, ReseedMatchesFreshConstruction) {
+  Rng fresh(GetParam());
+  Rng reused(GetParam() + 1);
+  reused.reseed(GetParam());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(fresh(), reused());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xdeadbeefull,
+                                           ~0ull));
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,97 @@
+#include "parabb/sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+Schedule build_full(const SchedContext& ctx) {
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);
+  ps.place(ctx, 1, 0);
+  ps.place(ctx, 2, 1);
+  ps.place(ctx, 3, 0);
+  return Schedule::from_partial(ctx, ps);
+}
+
+TEST(Schedule, FromPartialCopiesPlacements) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Schedule s = build_full(ctx);
+  EXPECT_EQ(s.task_count(), 4);
+  EXPECT_EQ(s.entry(0).proc, 0);
+  EXPECT_EQ(s.entry(0).start, 0);
+  EXPECT_EQ(s.entry(0).finish, 10);
+  EXPECT_EQ(s.entry(2).proc, 1);
+}
+
+TEST(Schedule, FromPartialRequiresComplete) {
+  const SchedContext ctx = test::make_ctx(test::small_diamond(), 2);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);
+  EXPECT_THROW(Schedule::from_partial(ctx, ps), precondition_error);
+}
+
+TEST(Schedule, ProcSequenceSortedByStart) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Schedule s = build_full(ctx);
+  const auto seq = s.proc_sequence(0);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].task, 0);
+  EXPECT_EQ(seq[1].task, 1);
+  EXPECT_EQ(seq[2].task, 3);
+  for (std::size_t i = 1; i < seq.size(); ++i)
+    EXPECT_GE(seq[i].start, seq[i - 1].finish);
+}
+
+TEST(Schedule, Metrics) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Schedule s = build_full(ctx);
+  const Time ms = makespan(s);
+  EXPECT_GT(ms, 0);
+  const Time lat = max_lateness(s, g);
+  // Every finish <= its deadline in this loose instance.
+  for (TaskId t = 0; t < 4; ++t)
+    EXPECT_LE(s.entry(t).finish - g.task(t).abs_deadline(), lat);
+  EXPECT_GE(total_idle(s, 2), 0);
+}
+
+TEST(Schedule, FromEntriesValidatesShape) {
+  EXPECT_THROW(Schedule::from_entries(2, {{0, 0, 0, 5}}),
+               precondition_error);
+  EXPECT_THROW(
+      Schedule::from_entries(2, {{0, 0, 0, 5}, {0, 0, 0, 5}}),
+      precondition_error);
+  EXPECT_THROW(
+      Schedule::from_entries(2, {{0, 0, 0, 5}, {7, 0, 0, 5}}),
+      precondition_error);
+  const Schedule s =
+      Schedule::from_entries(2, {{1, 0, 5, 9}, {0, 1, 0, 4}});
+  EXPECT_EQ(s.entry(1).start, 5);
+  EXPECT_EQ(s.used_proc_span(), 2);
+}
+
+TEST(Schedule, GanttRendersRowsPerProcessor) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const Schedule s = build_full(ctx);
+  const std::string gantt = to_gantt(s, g, 2, 60);
+  EXPECT_NE(gantt.find("P0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("P1 |"), std::string::npos);
+  EXPECT_NE(gantt.find('a'), std::string::npos);
+  EXPECT_THROW(to_gantt(s, g, 2, 4), precondition_error);
+}
+
+TEST(Schedule, EmptySchedule) {
+  const Schedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(makespan(s), 0);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,93 @@
+#include "parabb/sched/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/sched/edf.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(ScheduleIo, RoundTripPreservesEverything) {
+  const TaskGraph g = test::paper_instance(6);
+  const SchedContext ctx = test::make_ctx(g, 3);
+  const EdfResult edf = schedule_edf(ctx);
+  const Schedule restored =
+      schedule_from_text(schedule_to_text(edf.schedule, g), g);
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    EXPECT_EQ(restored.entry(t).proc, edf.schedule.entry(t).proc);
+    EXPECT_EQ(restored.entry(t).start, edf.schedule.entry(t).start);
+    EXPECT_EQ(restored.entry(t).finish, edf.schedule.entry(t).finish);
+  }
+  EXPECT_EQ(max_lateness(restored, g), edf.max_lateness);
+}
+
+TEST(ScheduleIo, ParsesCommentsAndBlankLines) {
+  const TaskGraph g = GraphBuilder().task("a", 5, 10).build();
+  const Schedule s = schedule_from_text(
+      "# header\n\nsched a proc=0 start=2 finish=7\n", g);
+  EXPECT_EQ(s.entry(0).start, 2);
+  EXPECT_EQ(s.entry(0).finish, 7);
+}
+
+TEST(ScheduleIo, ErrorsCarryLineNumbers) {
+  const TaskGraph g = GraphBuilder().task("a", 5).build();
+  try {
+    schedule_from_text("sched a proc=0 start=0 finish=5\nbogus\n", g);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScheduleIo, RejectsUnknownTask) {
+  const TaskGraph g = GraphBuilder().task("a", 5).build();
+  EXPECT_THROW(
+      schedule_from_text("sched ghost proc=0 start=0 finish=5\n", g),
+      std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsDuplicateAndIncomplete) {
+  const TaskGraph g =
+      GraphBuilder().task("a", 5).task("b", 5).build();
+  EXPECT_THROW(schedule_from_text(
+                   "sched a proc=0 start=0 finish=5\n"
+                   "sched a proc=0 start=5 finish=10\n",
+                   g),
+               std::runtime_error);
+  EXPECT_THROW(schedule_from_text("sched a proc=0 start=0 finish=5\n", g),
+               std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsMalformedAttributes) {
+  const TaskGraph g = GraphBuilder().task("a", 5).build();
+  EXPECT_THROW(
+      schedule_from_text("sched a start=0 proc=0 finish=5\n", g),
+      std::runtime_error);  // wrong attribute order
+  EXPECT_THROW(schedule_from_text("sched a proc=x start=0 finish=5\n", g),
+               std::runtime_error);
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+  const TaskGraph g = test::small_diamond();
+  const SchedContext ctx = test::make_ctx(g, 2);
+  const SearchResult r = solve_bnb(ctx, Params{});
+  const std::string path =
+      ::testing::TempDir() + "/parabb_schedule_test.txt";
+  save_schedule(r.best, g, path);
+  const Schedule restored = load_schedule(path, g);
+  EXPECT_EQ(max_lateness(restored, g), r.best_cost);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleIo, LoadMissingFileThrows) {
+  const TaskGraph g = GraphBuilder().task("a", 5).build();
+  EXPECT_THROW(load_schedule("/no/such/schedule.txt", g),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,149 @@
+#include "parabb/deadline/slicing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/taskgraph/topology.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+namespace {
+
+TaskGraph chain3() {
+  return GraphBuilder()
+      .task("a", 10)
+      .task("b", 20)
+      .task("c", 30)
+      .chain({"a", "b", "c"})
+      .build();
+}
+
+TEST(Slicing, PathWorkBaseScalesByLaxity) {
+  TaskGraph g = chain3();
+  SlicingConfig cfg;
+  cfg.laxity = 2.0;
+  cfg.base = LaxityBase::kPathWork;
+  const SlicingReport r = assign_deadlines_slicing(g, cfg);
+  EXPECT_DOUBLE_EQ(r.scale, 2.0);
+  EXPECT_EQ(r.critical_path, 60);
+  EXPECT_EQ(r.e2e_deadline, 120);
+  // Windows: a [0,20], b [20,60], c [60,120].
+  EXPECT_EQ(g.task(0).phase, 0);
+  EXPECT_EQ(g.task(0).abs_deadline(), 20);
+  EXPECT_EQ(g.task(1).phase, 20);
+  EXPECT_EQ(g.task(1).abs_deadline(), 60);
+  EXPECT_EQ(g.task(2).phase, 60);
+  EXPECT_EQ(g.task(2).abs_deadline(), 120);
+}
+
+TEST(Slicing, TotalWorkBaseUsesAccumulatedWorkload) {
+  TaskGraph g = GraphBuilder()
+                    .task("a", 10)
+                    .task("b", 10)
+                    .task("p", 10)  // parallel, off the critical path
+                    .arc("a", "b")
+                    .arc("a", "p")
+                    .build();
+  SlicingConfig cfg;  // laxity 1.5, kTotalWork
+  const SlicingReport r = assign_deadlines_slicing(g, cfg);
+  EXPECT_EQ(r.total_work, 30);
+  EXPECT_EQ(r.critical_path, 20);
+  // Heaviest chain's e2e deadline = 1.5 * 30 = 45; scale = 45/20 = 2.25.
+  EXPECT_DOUBLE_EQ(r.scale, 2.25);
+  EXPECT_EQ(r.e2e_deadline, 45);
+  EXPECT_EQ(g.task(1).abs_deadline(), 45);
+}
+
+TEST(Slicing, WindowsCoverExecutionTime) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    GeneratedGraph gen = generate_graph(paper_config(), seed);
+    assign_deadlines_slicing(gen.graph);
+    for (TaskId t = 0; t < gen.graph.task_count(); ++t) {
+      const Task& task = gen.graph.task(t);
+      EXPECT_GE(task.rel_deadline, task.exec) << "task " << task.name;
+      EXPECT_GE(task.phase, 0);
+    }
+  }
+}
+
+TEST(Slicing, WindowsNonOverlappingAlongEveryArc) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    GeneratedGraph gen = generate_graph(paper_config(), seed);
+    assign_deadlines_slicing(gen.graph);
+    for (const Channel& c : gen.graph.arcs()) {
+      // Successor's window starts no earlier than predecessor's window end.
+      EXPECT_GE(gen.graph.task(c.to).phase,
+                gen.graph.task(c.from).abs_deadline())
+          << "arc " << gen.graph.task(c.from).name << " -> "
+          << gen.graph.task(c.to).name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Slicing, EqualSlicesAlsoNonOverlapping) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    GeneratedGraph gen = generate_graph(paper_config(), seed);
+    assign_deadlines_equal_slices(gen.graph);
+    for (const Channel& c : gen.graph.arcs()) {
+      EXPECT_GE(gen.graph.task(c.to).phase,
+                gen.graph.task(c.from).abs_deadline());
+    }
+    for (TaskId t = 0; t < gen.graph.task_count(); ++t) {
+      EXPECT_GE(gen.graph.task(t).rel_deadline, gen.graph.task(t).exec);
+    }
+  }
+}
+
+TEST(Slicing, EqualSlicesIgnoreExecProportion) {
+  TaskGraph g = chain3();
+  SlicingConfig cfg;
+  cfg.base = LaxityBase::kPathWork;
+  assign_deadlines_equal_slices(g, cfg);
+  // All three slices equal: 1.5*60/3 = 30 each.
+  EXPECT_EQ(g.task(0).abs_deadline(), 30);
+  EXPECT_EQ(g.task(1).phase, 30);
+  EXPECT_EQ(g.task(1).abs_deadline(), 60);
+}
+
+TEST(Slicing, RejectsScaleBelowOne) {
+  TaskGraph g = chain3();
+  SlicingConfig cfg;
+  cfg.laxity = 0.5;
+  cfg.base = LaxityBase::kPathWork;
+  EXPECT_THROW(assign_deadlines_slicing(g, cfg), precondition_error);
+}
+
+TEST(Slicing, RejectsZeroExecTasks) {
+  TaskGraph g;
+  Task t;
+  t.name = "z";
+  t.exec = 0;
+  g.add_task(t);
+  EXPECT_THROW(assign_deadlines_slicing(g), precondition_error);
+}
+
+TEST(Slicing, ClearDeadlinesResets) {
+  TaskGraph g = chain3();
+  assign_deadlines_slicing(g);
+  clear_deadlines(g);
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    EXPECT_EQ(g.task(t).phase, 0);
+    EXPECT_EQ(g.task(t).rel_deadline, 0);
+  }
+}
+
+TEST(Slicing, LaxityControlsTightness) {
+  TaskGraph loose = chain3();
+  TaskGraph tight = chain3();
+  SlicingConfig cfg;
+  cfg.base = LaxityBase::kPathWork;
+  cfg.laxity = 3.0;
+  assign_deadlines_slicing(loose, cfg);
+  cfg.laxity = 1.0;
+  assign_deadlines_slicing(tight, cfg);
+  EXPECT_GT(loose.task(2).abs_deadline(), tight.task(2).abs_deadline());
+}
+
+}  // namespace
+}  // namespace parabb

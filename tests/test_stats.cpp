@@ -1,0 +1,171 @@
+#include "parabb/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/support/rng.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(OnlineStats, EmptyState) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  for (const double v : {-10.0, -20.0, -30.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), -20.0);
+  EXPECT_DOUBLE_EQ(s.min(), -30.0);
+  EXPECT_DOUBLE_EQ(s.max(), -10.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats whole, left, right;
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform_real(-100, 100);
+    whole.add(v);
+    (i < 200 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TCritical, MatchesTableValues) {
+  EXPECT_NEAR(t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical(0.90, 5), 2.015, 1e-3);
+  EXPECT_NEAR(t_critical(0.99, 30), 2.750, 1e-3);
+}
+
+TEST(TCritical, InterpolationIsMonotone) {
+  // df between table rows: value must lie between the bracketing rows.
+  const double t13 = t_critical(0.95, 13);
+  EXPECT_LT(t13, t_critical(0.95, 12));
+  EXPECT_GT(t13, t_critical(0.95, 15));
+}
+
+TEST(TCritical, LargeDfApproachesNormal) {
+  EXPECT_NEAR(t_critical(0.95, 10000), 1.960, 1e-3);
+  EXPECT_NEAR(t_critical(0.90, 10000), 1.645, 1e-3);
+}
+
+TEST(TCritical, RejectsUnsupportedConfidence) {
+  EXPECT_THROW(t_critical(0.80, 10), precondition_error);
+  EXPECT_THROW(t_critical(0.95, 0), precondition_error);
+}
+
+TEST(CiHalfwidth, InfiniteForTinySamples) {
+  OnlineStats s;
+  EXPECT_TRUE(std::isinf(ci_halfwidth(s, 0.95)));
+  s.add(1.0);
+  EXPECT_TRUE(std::isinf(ci_halfwidth(s, 0.95)));
+}
+
+TEST(CiHalfwidth, KnownValue) {
+  OnlineStats s;
+  for (const double v : {10.0, 12.0, 14.0}) s.add(v);
+  // stddev = 2, sem = 2/sqrt(3), t(0.95, df=2) = 4.303
+  EXPECT_NEAR(ci_halfwidth(s, 0.95), 4.303 * 2.0 / std::sqrt(3.0), 1e-3);
+}
+
+TEST(CiConverged, TightSamplesConverge) {
+  OnlineStats s;
+  for (int i = 0; i < 50; ++i) s.add(100.0 + (i % 2 ? 0.01 : -0.01));
+  EXPECT_TRUE(ci_converged(s, 0.95, 0.005));
+}
+
+TEST(CiConverged, WideSamplesDoNot) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(1000.0);
+  s.add(-500.0);
+  EXPECT_FALSE(ci_converged(s, 0.95, 0.005));
+}
+
+TEST(GeometricMean, KnownValue) {
+  EXPECT_NEAR(geometric_mean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsBadInput) {
+  EXPECT_THROW(geometric_mean({}), precondition_error);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), precondition_error);
+  EXPECT_THROW(geometric_mean({1.0, -2.0}), precondition_error);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+// Statistical property: the CI produced by our machinery covers the true
+// mean approximately at the nominal rate.
+TEST(ConfidenceInterval, CoversTrueMeanAtNominalRate) {
+  Rng rng(2024);
+  const double true_mean = 50.0;
+  int covered = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    OnlineStats s;
+    for (int i = 0; i < 12; ++i)
+      s.add(true_mean + rng.uniform_real(-10, 10));
+    const double hw = ci_halfwidth(s, 0.95);
+    if (std::abs(s.mean() - true_mean) <= hw) ++covered;
+  }
+  // 95% nominal; allow generous slack for the uniform distribution.
+  EXPECT_GT(covered, trials * 90 / 100);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,115 @@
+#include "parabb/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t;
+  t.set_header({"k", "v"});
+  t.add_row({"x", "5"});
+  t.add_row({"y", "500"});
+  std::istringstream in(t.to_string());
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // row x: "5" right-aligned in width 3
+  EXPECT_EQ(line, "x    5");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(TextTable, RuleRendersAsLine) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // Two rules: one under the header, one explicit.
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_GE(count, 2u);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvSkipsRules) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a\n1\n2\n");
+}
+
+TEST(FmtDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt_double(1.5, 3), "1.5");
+  EXPECT_EQ(fmt_double(2.0, 2), "2");
+  EXPECT_EQ(fmt_double(-0.0001, 2), "0");
+  EXPECT_EQ(fmt_double(123.456, 1), "123.5");
+}
+
+TEST(FmtDouble, HandlesNonFinite) {
+  EXPECT_EQ(fmt_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(fmt_double(std::nan("")), "nan");
+}
+
+TEST(FmtCi, Format) {
+  EXPECT_EQ(fmt_ci(10.0, 1.25, 2), "10 ±1.25");
+}
+
+TEST(WriteTextFile, RoundTrips) {
+  const std::string path = ::testing::TempDir() + "/parabb_table_test.txt";
+  write_text_file(path, "hello\nworld\n");
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteTextFile, ThrowsOnBadPath) {
+  EXPECT_THROW(write_text_file("/nonexistent-dir-xyz/file.txt", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parabb

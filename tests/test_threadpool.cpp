@@ -1,0 +1,82 @@
+#include "parabb/support/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleWithNoJobsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, JobsActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    const int now = inside.fetch_add(1) + 1;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    inside.fetch_sub(1);
+  });
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, SubmittingEmptyJobThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), precondition_error);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,158 @@
+#include "parabb/taskgraph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+namespace {
+
+// a(10) -> b(20) -> d(5); a -> c(30) -> d
+TaskGraph diamond() {
+  return GraphBuilder()
+      .task("a", 10)
+      .task("b", 20)
+      .task("c", 30)
+      .task("d", 5)
+      .arc("a", "b")
+      .arc("a", "c")
+      .arc("b", "d")
+      .arc("c", "d")
+      .build();
+}
+
+TEST(Topology, TopoOrderRespectsPrecedence) {
+  const TaskGraph g = diamond();
+  const Topology topo = analyze(g);
+  ASSERT_EQ(topo.topo_order.size(), 4u);
+  auto pos = [&](TaskId t) {
+    return std::find(topo.topo_order.begin(), topo.topo_order.end(), t) -
+           topo.topo_order.begin();
+  };
+  for (const Channel& c : g.arcs()) EXPECT_LT(pos(c.from), pos(c.to));
+}
+
+TEST(Topology, DepthLevels) {
+  const Topology topo = analyze(diamond());
+  EXPECT_EQ(topo.depth, (std::vector<int>{0, 1, 1, 2}));
+  EXPECT_EQ(topo.level_count, 3);
+  ASSERT_EQ(topo.levels.size(), 3u);
+  EXPECT_EQ(topo.levels[0], std::vector<TaskId>{0});
+  EXPECT_EQ(topo.levels[1], (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(topo.width, 2);
+}
+
+TEST(Topology, BottomLevelsAreHeaviestTailPaths) {
+  const Topology topo = analyze(diamond());
+  // d: 5; b: 20+5=25; c: 30+5=35; a: 10+35=45.
+  EXPECT_EQ(topo.bottom_level, (std::vector<Time>{45, 25, 35, 5}));
+}
+
+TEST(Topology, PrefixAndSuffixWork) {
+  const Topology topo = analyze(diamond());
+  EXPECT_EQ(topo.pref_work, (std::vector<Time>{0, 10, 10, 40}));
+  EXPECT_EQ(topo.suff_work, (std::vector<Time>{35, 5, 5, 0}));
+  EXPECT_EQ(topo.critical_path, 45);
+}
+
+TEST(Topology, InputsAndOutputs) {
+  const Topology topo = analyze(diamond());
+  EXPECT_EQ(topo.inputs, std::vector<TaskId>{0});
+  EXPECT_EQ(topo.outputs, std::vector<TaskId>{3});
+}
+
+TEST(Topology, DfsOrderVisitsChildrenDepthFirst) {
+  const Topology topo = analyze(diamond());
+  // From a: a, then b (smaller id), then d, then c.
+  EXPECT_EQ(topo.dfs_order, (std::vector<TaskId>{0, 1, 3, 2}));
+}
+
+TEST(Topology, LevelOrderSortsByDecreasingBottomLevel) {
+  const Topology topo = analyze(diamond());
+  // Bottom levels: a=45, c=35, b=25, d=5.
+  EXPECT_EQ(topo.level_order, (std::vector<TaskId>{0, 2, 1, 3}));
+}
+
+TEST(Topology, ChainProperties) {
+  const TaskGraph g = GraphBuilder()
+                          .task("x", 5)
+                          .task("y", 6)
+                          .task("z", 7)
+                          .chain({"x", "y", "z"})
+                          .build();
+  const Topology topo = analyze(g);
+  EXPECT_EQ(topo.level_count, 3);
+  EXPECT_EQ(topo.width, 1);
+  EXPECT_EQ(topo.critical_path, 18);
+  EXPECT_EQ(topo.dfs_order, (std::vector<TaskId>{0, 1, 2}));
+}
+
+TEST(Topology, IndependentTasksAllLevelZero) {
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    t.exec = 10;
+    g.add_task(t);
+  }
+  const Topology topo = analyze(g);
+  EXPECT_EQ(topo.level_count, 1);
+  EXPECT_EQ(topo.width, 5);
+  EXPECT_EQ(topo.inputs.size(), 5u);
+  EXPECT_EQ(topo.outputs.size(), 5u);
+}
+
+TEST(Topology, RejectsCyclicGraph) {
+  TaskGraph g;
+  Task t;
+  t.exec = 1;
+  t.name = "a";
+  const TaskId a = g.add_task(t);
+  t.name = "b";
+  const TaskId b = g.add_task(t);
+  g.add_arc(a, b);
+  g.add_arc(b, a);
+  EXPECT_THROW(analyze(g), precondition_error);
+}
+
+// Property sweep: structural invariants hold on random generated graphs.
+class TopologyRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyRandom, InvariantsHold) {
+  const GeneratedGraph gen = generate_graph(paper_config(), GetParam());
+  const TaskGraph& g = gen.graph;
+  const Topology topo = analyze(g);
+  const auto n = static_cast<std::size_t>(g.task_count());
+  ASSERT_EQ(topo.topo_order.size(), n);
+  ASSERT_EQ(topo.dfs_order.size(), n);
+  ASSERT_EQ(topo.level_order.size(), n);
+
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    // bottom level >= own exec; prefix 0 iff input.
+    EXPECT_GE(topo.bottom_level[ut], g.task(t).exec);
+    EXPECT_EQ(topo.pref_work[ut] == 0, g.is_input(t));
+    EXPECT_EQ(topo.suff_work[ut] == 0, g.is_output(t));
+    // critical path dominates any through-path.
+    EXPECT_LE(topo.pref_work[ut] + g.task(t).exec + topo.suff_work[ut],
+              topo.critical_path);
+    // depth is one more than the deepest predecessor.
+    for (const Arc& a : g.preds(t)) {
+      EXPECT_GT(topo.depth[ut], topo.depth[static_cast<std::size_t>(a.other)]);
+    }
+  }
+  // Levels partition the tasks.
+  std::size_t total = 0;
+  for (const auto& lvl : topo.levels) total += lvl.size();
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyRandom,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace parabb

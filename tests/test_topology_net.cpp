@@ -1,0 +1,147 @@
+// Tests for the interconnection-network topology model and its effect on
+// scheduling (platform/topology.hpp + hop-scaled nominal delays).
+#include "parabb/platform/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/bnb/brute_force.hpp"
+#include "parabb/bnb/engine.hpp"
+#include "parabb/sched/validator.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(NetworkTopology, FullyConnectedIsOneHop) {
+  const NetworkTopology t = NetworkTopology::fully_connected(4);
+  for (ProcId p = 0; p < 4; ++p) {
+    for (ProcId q = 0; q < 4; ++q) {
+      EXPECT_EQ(t.hops(p, q), p == q ? 0 : 1);
+    }
+  }
+  EXPECT_EQ(t.diameter(), 1);
+}
+
+TEST(NetworkTopology, RingUsesShorterDirection) {
+  const NetworkTopology t = NetworkTopology::ring(5);
+  EXPECT_EQ(t.hops(0, 1), 1);
+  EXPECT_EQ(t.hops(0, 2), 2);
+  EXPECT_EQ(t.hops(0, 3), 2);  // around the back
+  EXPECT_EQ(t.hops(0, 4), 1);
+  EXPECT_EQ(t.diameter(), 2);
+}
+
+TEST(NetworkTopology, LineIsAbsoluteDistance) {
+  const NetworkTopology t = NetworkTopology::line(4);
+  EXPECT_EQ(t.hops(0, 3), 3);
+  EXPECT_EQ(t.hops(2, 1), 1);
+  EXPECT_EQ(t.diameter(), 3);
+}
+
+TEST(NetworkTopology, MeshIsManhattan) {
+  const NetworkTopology t = NetworkTopology::mesh(2, 3);
+  EXPECT_EQ(t.procs(), 6);
+  // ids row-major: 0 1 2 / 3 4 5
+  EXPECT_EQ(t.hops(0, 5), 3);
+  EXPECT_EQ(t.hops(1, 4), 1);
+  EXPECT_EQ(t.hops(2, 3), 3);
+  EXPECT_EQ(t.diameter(), 3);
+}
+
+TEST(NetworkTopology, CustomValidation) {
+  EXPECT_NO_THROW(NetworkTopology::custom({{0, 2}, {2, 0}}));
+  EXPECT_THROW(NetworkTopology::custom({{0, 2}, {1, 0}}),
+               precondition_error);  // asymmetric
+  EXPECT_THROW(NetworkTopology::custom({{1, 2}, {2, 0}}),
+               precondition_error);  // nonzero diagonal
+  EXPECT_THROW(NetworkTopology::custom({{0, 0}, {0, 0}}),
+               precondition_error);  // zero off-diagonal
+  EXPECT_THROW(NetworkTopology::custom({{0, 1}}), precondition_error);
+}
+
+TEST(NetworkTopology, SymmetryHoldsEverywhere) {
+  for (const NetworkTopology& t :
+       {NetworkTopology::ring(6), NetworkTopology::line(5),
+        NetworkTopology::mesh(2, 4)}) {
+    for (ProcId p = 0; p < t.procs(); ++p) {
+      for (ProcId q = 0; q < t.procs(); ++q) {
+        EXPECT_EQ(t.hops(p, q), t.hops(q, p)) << t.name();
+      }
+    }
+  }
+}
+
+TEST(Machine, HopScaledCommDelay) {
+  const Machine m = make_network_machine(NetworkTopology::line(4), 2);
+  EXPECT_EQ(m.comm_delay(0, 0, 10), 0);
+  EXPECT_EQ(m.comm_delay(0, 1, 10), 20);   // 10 items * 2/item * 1 hop
+  EXPECT_EQ(m.comm_delay(0, 3, 10), 60);   // * 3 hops
+  EXPECT_EQ(m.hops(2, 2), 0);
+  EXPECT_NE(m.describe().find("line"), std::string::npos);
+}
+
+TEST(Machine, DefaultIsOneHop) {
+  const Machine m = make_shared_bus_machine(3);
+  EXPECT_EQ(m.hops(0, 2), 1);
+  EXPECT_EQ(m.comm_delay(0, 2, 7), 7);
+}
+
+TEST(SchedContextTopology, HopsReachTheHotPath) {
+  // a -> b with 10 items; on a 3-proc line, placing b two hops away costs
+  // twice the one-hop delay.
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 5, 100, 0)
+                          .task("b", 5, 100, 0)
+                          .arc("a", "b", 10)
+                          .build();
+  const Machine m = make_network_machine(NetworkTopology::line(3), 1);
+  const SchedContext ctx(g, m);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);  // a on P0: [0,5)
+  EXPECT_EQ(ps.earliest_start(ctx, 1, 0), 5);    // co-located
+  EXPECT_EQ(ps.earliest_start(ctx, 1, 1), 15);   // 1 hop
+  EXPECT_EQ(ps.earliest_start(ctx, 1, 2), 25);   // 2 hops
+}
+
+TEST(SchedContextTopology, RejectsMismatchedSizes) {
+  const TaskGraph g = test::small_diamond();
+  Machine m = make_network_machine(NetworkTopology::ring(4), 1);
+  m.procs = 3;  // contradicts the topology
+  EXPECT_THROW(SchedContext(g, m), precondition_error);
+}
+
+TEST(SchedContextTopology, OptimalCostDegradesWithDiameter) {
+  // The same workload cannot do better on a line than on a crossbar
+  // (every line schedule is feasible on the crossbar at equal or lower
+  // comm cost).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const TaskGraph g = test::tiny_random(seed, 6, 3);
+    const SchedContext full(
+        g, make_network_machine(NetworkTopology::fully_connected(3), 1));
+    const SchedContext line(
+        g, make_network_machine(NetworkTopology::line(3), 1));
+    const Time opt_full = brute_force(full).best_cost;
+    const Time opt_line = brute_force(line).best_cost;
+    EXPECT_LE(opt_full, opt_line) << "seed " << seed;
+  }
+}
+
+TEST(SchedContextTopology, EngineMatchesOracleOnTopologies) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const TaskGraph g = test::tiny_random(seed, 6, 3);
+    for (const NetworkTopology& t :
+         {NetworkTopology::ring(3), NetworkTopology::line(3)}) {
+      const Machine m = make_network_machine(t, 1);
+      const SchedContext ctx(g, m);
+      const SearchResult r = solve_bnb(ctx, Params{});
+      ASSERT_TRUE(r.found_solution);
+      EXPECT_EQ(r.best_cost, brute_force(ctx).best_cost)
+          << t.name() << " seed " << seed;
+      const ValidationReport rep = validate_schedule(r.best, g, m);
+      EXPECT_TRUE(rep.structurally_sound) << rep.error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parabb

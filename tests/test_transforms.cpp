@@ -1,0 +1,154 @@
+#include "parabb/taskgraph/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/taskgraph/topology.hpp"
+#include "parabb/workload/generator.hpp"
+#include "parabb/workload/presets.hpp"
+
+namespace parabb {
+namespace {
+
+TEST(TransitiveReduction, RemovesImpliedArc) {
+  // a->b->c plus a redundant a->c (no message).
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 1)
+                          .task("b", 1)
+                          .task("c", 1)
+                          .arc("a", "b")
+                          .arc("b", "c")
+                          .arc("a", "c")
+                          .build();
+  const TaskGraph r = transitive_reduction(g);
+  EXPECT_EQ(r.arc_count(), 2);
+  EXPECT_EQ(r.items_on_arc(0, 2), kTimeNegInf);
+  EXPECT_TRUE(same_precedence_closure(g, r));
+}
+
+TEST(TransitiveReduction, KeepsMessageCarryingArcs) {
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 1)
+                          .task("b", 1)
+                          .task("c", 1)
+                          .arc("a", "b")
+                          .arc("b", "c")
+                          .arc("a", "c", /*items=*/7)
+                          .build();
+  const TaskGraph r = transitive_reduction(g);
+  EXPECT_EQ(r.arc_count(), 3);
+  EXPECT_EQ(r.items_on_arc(0, 2), 7);
+}
+
+TEST(TransitiveReduction, IdempotentOnReducedGraphs) {
+  const TaskGraph g = preset_diamond();
+  const TaskGraph r = transitive_reduction(g);
+  EXPECT_EQ(r.arc_count(), g.arc_count());  // diamond is already reduced
+}
+
+TEST(TransitiveReduction, PreservesClosureOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    GeneratorConfig cfg = paper_config();
+    cfg.ccr = 0.0;  // all arcs removable
+    const GeneratedGraph gen = generate_graph(cfg, seed);
+    const TaskGraph r = transitive_reduction(gen.graph);
+    EXPECT_LE(r.arc_count(), gen.graph.arc_count());
+    EXPECT_TRUE(same_precedence_closure(gen.graph, r)) << "seed " << seed;
+  }
+}
+
+TEST(ChainClustering, CollapsesPureChain) {
+  const TaskGraph g = preset_chain(5, 10, /*items=*/0);
+  const ChainClustering c = cluster_linear_chains(g);
+  EXPECT_EQ(c.clustered.task_count(), 1);
+  EXPECT_EQ(c.clustered.task(0).exec, 50);
+  EXPECT_EQ(c.chains_collapsed, 4);
+  for (const TaskId m : c.member_of) EXPECT_EQ(m, 0);
+}
+
+TEST(ChainClustering, MessagesBlockCollapsing) {
+  const TaskGraph g = preset_chain(4, 10, /*items=*/3);
+  const ChainClustering c = cluster_linear_chains(g);
+  EXPECT_EQ(c.clustered.task_count(), 4);
+  EXPECT_EQ(c.chains_collapsed, 0);
+}
+
+TEST(ChainClustering, ForkJoinKeepsBranches) {
+  const TaskGraph g = preset_fork_join(3, 10, 0);
+  const ChainClustering c = cluster_linear_chains(g);
+  // fork and join have degree > 1; branches have 1-in/1-out but fork has 3
+  // successors, so branch tasks cannot merge into it; likewise join.
+  EXPECT_EQ(c.clustered.task_count(), g.task_count());
+}
+
+TEST(ChainClustering, MixedGraph) {
+  // a -> b -> c -> d where b,c are a pure chain hanging off input a and
+  // feeding output d; plus a parallel task p from a to d.
+  const TaskGraph g = GraphBuilder()
+                          .task("a", 5)
+                          .task("b", 5)
+                          .task("c", 5)
+                          .task("d", 5)
+                          .task("p", 5)
+                          .chain({"a", "b", "c", "d"})
+                          .arc("a", "p")
+                          .arc("p", "d")
+                          .build();
+  const ChainClustering c = cluster_linear_chains(g);
+  // b merges into... a has 2 successors (b, p) so b cannot merge into a;
+  // c merges into b (b has 1 succ, c has 1 pred); d has 2 preds.
+  EXPECT_EQ(c.clustered.task_count(), 4);
+  EXPECT_EQ(c.chains_collapsed, 1);
+  EXPECT_TRUE(c.clustered.is_acyclic());
+}
+
+TEST(ChainClustering, DeadlinesMergedConservatively) {
+  const TaskGraph g = GraphBuilder()
+                          .task("x", 10, /*rel_deadline=*/100, /*phase=*/0)
+                          .task("y", 10, 25, 0)  // tight member
+                          .arc("x", "y")
+                          .build();
+  const ChainClustering c = cluster_linear_chains(g);
+  ASSERT_EQ(c.clustered.task_count(), 1);
+  EXPECT_EQ(c.clustered.task(0).exec, 20);
+  EXPECT_EQ(c.clustered.task(0).abs_deadline(), 25);  // tightest member
+}
+
+TEST(CriticalPath, ChainIsItsOwnCriticalPath) {
+  const TaskGraph g = preset_chain(4);
+  const auto path = critical_path_tasks(g);
+  EXPECT_EQ(path, (std::vector<TaskId>{0, 1, 2, 3}));
+}
+
+TEST(CriticalPath, PicksHeaviestBranch) {
+  const TaskGraph g = GraphBuilder()
+                          .task("s", 5)
+                          .task("light", 1)
+                          .task("heavy", 50)
+                          .task("t", 5)
+                          .arc("s", "light")
+                          .arc("s", "heavy")
+                          .arc("light", "t")
+                          .arc("heavy", "t")
+                          .build();
+  const auto path = critical_path_tasks(g);
+  EXPECT_EQ(path, (std::vector<TaskId>{0, 2, 3}));
+}
+
+TEST(CriticalPath, WeightMatchesTopology) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const GeneratedGraph gen = generate_graph(paper_config(), seed);
+    const Topology topo = analyze(gen.graph);
+    const auto path = critical_path_tasks(gen.graph);
+    Time weight = 0;
+    for (const TaskId t : path) weight += gen.graph.task(t).exec;
+    EXPECT_EQ(weight, topo.critical_path) << "seed " << seed;
+    // Consecutive tasks must be connected.
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_NE(gen.graph.items_on_arc(path[i - 1], path[i]), kTimeNegInf);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parabb

@@ -1,0 +1,73 @@
+// Shared fixtures and helpers for the ParaBB test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parabb/deadline/slicing.hpp"
+#include "parabb/platform/machine.hpp"
+#include "parabb/sched/context.hpp"
+#include "parabb/taskgraph/builder.hpp"
+#include "parabb/taskgraph/graph.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb::test {
+
+/// Small diamond with explicit per-task windows; feasible on 2 processors.
+///   a(10) -> b(20), c(15) -> d(10), comm 5 items on every arc.
+inline TaskGraph small_diamond() {
+  return GraphBuilder()
+      .task("a", 10, /*rel_deadline=*/15, /*phase=*/0)
+      .task("b", 20, 40, 10)
+      .task("c", 15, 40, 10)
+      .task("d", 10, 30, 35)
+      .arc("a", "b", 5)
+      .arc("a", "c", 5)
+      .arc("b", "d", 5)
+      .arc("c", "d", 5)
+      .build();
+}
+
+/// Independent tasks (no arcs) with staggered windows.
+inline TaskGraph independent_tasks(int n, Time exec = 10, Time window = 25) {
+  GraphBuilder b;
+  for (int i = 0; i < n; ++i)
+    b.task("i" + std::to_string(i), exec, window + 5 * i, 0);
+  return b.build();
+}
+
+/// Random paper-style instance scaled down to `n_max` tasks for exhaustive
+/// cross-checks, with deadlines assigned by slicing.
+inline TaskGraph tiny_random(std::uint64_t seed, int n = 6, int depth = 3) {
+  GeneratorConfig cfg;
+  cfg.n_min = cfg.n_max = n;
+  cfg.depth_min = cfg.depth_max = depth;
+  GeneratedGraph g = generate_graph(cfg, seed);
+  assign_deadlines_slicing(g.graph);
+  return std::move(g.graph);
+}
+
+/// Paper-sized instance (12-16 tasks, depth 8-12) with sliced deadlines.
+inline TaskGraph paper_instance(std::uint64_t seed) {
+  GeneratedGraph g = generate_graph(paper_config(), seed);
+  assign_deadlines_slicing(g.graph);
+  return std::move(g.graph);
+}
+
+/// Paper-sized instance with *tight* deadlines (per-path laxity 1.1):
+/// EDF is rarely optimal here, so the B&B search is nontrivial. Used by
+/// tests that need expansions/pruning to actually happen.
+inline TaskGraph tight_instance(std::uint64_t seed) {
+  GeneratedGraph g = generate_graph(paper_config(), seed);
+  SlicingConfig cfg;
+  cfg.base = LaxityBase::kPathWork;
+  cfg.laxity = 1.1;
+  assign_deadlines_slicing(g.graph, cfg);
+  return std::move(g.graph);
+}
+
+inline SchedContext make_ctx(const TaskGraph& g, int procs) {
+  return SchedContext(g, make_shared_bus_machine(procs));
+}
+
+}  // namespace parabb::test

@@ -1,0 +1,164 @@
+#include "parabb/sched/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parabb/sched/edf.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+// Failure-injection suite: start from a valid schedule, corrupt one aspect,
+// and check the validator pinpoints it.
+
+struct Fixture {
+  TaskGraph g = test::small_diamond();
+  Machine machine = make_shared_bus_machine(2);
+  SchedContext ctx{g, machine};
+  Schedule good;
+
+  Fixture() {
+    PartialSchedule ps = PartialSchedule::empty(ctx);
+    ps.place(ctx, 0, 0);
+    ps.place(ctx, 1, 0);
+    ps.place(ctx, 2, 1);
+    ps.place(ctx, 3, 0);
+    good = Schedule::from_partial(ctx, ps);
+  }
+
+  Schedule mutate(TaskId t, auto fn) const {
+    std::vector<ScheduledTask> entries;
+    for (TaskId i = 0; i < good.task_count(); ++i)
+      entries.push_back(good.entry(i));
+    fn(entries[static_cast<std::size_t>(t)]);
+    return Schedule::from_entries(good.task_count(), std::move(entries));
+  }
+};
+
+TEST(Validator, AcceptsValidSchedule) {
+  const Fixture f;
+  const ValidationReport r = validate_schedule(f.good, f.g, f.machine);
+  EXPECT_TRUE(r.structurally_sound) << r.error;
+  EXPECT_TRUE(r.deadlines_met) << r.error;
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.error, "");
+}
+
+TEST(Validator, DetectsBadProcessor) {
+  const Fixture f;
+  const Schedule bad = f.mutate(0, [](ScheduledTask& e) { e.proc = 9; });
+  const ValidationReport r = validate_schedule(bad, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+  EXPECT_NE(r.error.find("processor"), std::string::npos);
+}
+
+TEST(Validator, DetectsWrongDuration) {
+  const Fixture f;
+  const Schedule bad = f.mutate(1, [](ScheduledTask& e) { e.finish += 1; });
+  const ValidationReport r = validate_schedule(bad, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+  EXPECT_NE(r.error.find("exec"), std::string::npos);
+}
+
+TEST(Validator, DetectsEarlyStart) {
+  const Fixture f;
+  // Task b arrives at 10; move it to 5.
+  const Schedule bad = f.mutate(1, [](ScheduledTask& e) {
+    e.start = 5;
+    e.finish = 25;
+  });
+  const ValidationReport r = validate_schedule(bad, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+  EXPECT_NE(r.error.find("arrival"), std::string::npos);
+}
+
+TEST(Validator, DetectsProcessorOverlap) {
+  const Fixture f;
+  // Move b late enough that d (arrival 35) lands inside it on P0, keeping
+  // every per-task structural property intact so the overlap check fires.
+  std::vector<ScheduledTask> entries;
+  for (TaskId i = 0; i < f.good.task_count(); ++i)
+    entries.push_back(f.good.entry(i));
+  entries[1].start = 30;
+  entries[1].finish = 50;
+  entries[3].start = 35;
+  entries[3].finish = 45;
+  const Schedule bad =
+      Schedule::from_entries(f.good.task_count(), std::move(entries));
+  const ValidationReport r = validate_schedule(bad, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+  EXPECT_NE(r.error.find("overlap"), std::string::npos) << r.error;
+}
+
+TEST(Validator, DetectsPrecedenceViolation) {
+  const Fixture f;
+  // d currently starts after c's message; yank c far later.
+  const Schedule bad = f.mutate(2, [](ScheduledTask& e) {
+    e.start = 500;
+    e.finish = 515;
+  });
+  const ValidationReport r = validate_schedule(bad, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+  EXPECT_NE(r.error.find("starts before"), std::string::npos);
+}
+
+TEST(Validator, DetectsMissedCommDelay) {
+  const Fixture f;
+  // c is on P1, d on P0: d must wait for finish(c) + 5. Place d exactly at
+  // finish(c) (too early by the comm delay).
+  const Schedule bad = f.mutate(3, [&](ScheduledTask& e) {
+    e.start = f.good.entry(2).finish;
+    e.finish = e.start + f.g.task(3).exec;
+  });
+  // May also overlap b; accept either structural complaint.
+  const ValidationReport r = validate_schedule(bad, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+}
+
+TEST(Validator, SeparatesDeadlinesFromStructure) {
+  // Tight deadline version: structure fine, deadline missed.
+  TaskGraph g = test::small_diamond();
+  g.task(3).rel_deadline = 1;  // impossible window
+  const Machine machine = make_shared_bus_machine(2);
+  const SchedContext ctx(g, machine);
+  PartialSchedule ps = PartialSchedule::empty(ctx);
+  ps.place(ctx, 0, 0);
+  ps.place(ctx, 1, 0);
+  ps.place(ctx, 2, 1);
+  ps.place(ctx, 3, 0);
+  const Schedule s = Schedule::from_partial(ctx, ps);
+  const ValidationReport r = validate_schedule(s, g, machine);
+  EXPECT_TRUE(r.structurally_sound);
+  EXPECT_FALSE(r.deadlines_met);
+  EXPECT_FALSE(r.valid());
+  EXPECT_NE(r.error.find("deadline"), std::string::npos);
+}
+
+TEST(Validator, TaskCountMismatch) {
+  const Fixture f;
+  const Schedule wrong = Schedule::from_entries(1, {{0, 0, 0, 10}});
+  const ValidationReport r = validate_schedule(wrong, f.g, f.machine);
+  EXPECT_FALSE(r.structurally_sound);
+  EXPECT_NE(r.error.find("mismatch"), std::string::npos);
+}
+
+// Property: every EDF schedule on random instances passes validation
+// (structurally; deadlines may be missed on infeasible instances).
+class ValidatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidatorSweep, EdfSchedulesAreStructurallySound) {
+  const TaskGraph g = test::paper_instance(GetParam());
+  for (int m = 2; m <= 4; ++m) {
+    const Machine machine = make_shared_bus_machine(m);
+    const SchedContext ctx(g, machine);
+    const EdfResult r = schedule_edf(ctx);
+    const ValidationReport report = validate_schedule(r.schedule, g, machine);
+    EXPECT_TRUE(report.structurally_sound) << report.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorSweep,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace parabb
