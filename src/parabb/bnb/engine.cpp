@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "parabb/bnb/active_set.hpp"
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/trace.hpp"
+#include "parabb/bnb/transposition.hpp"
 #include "parabb/bnb/vertex.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
@@ -89,6 +91,14 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     case UpperBoundInit::kExplicit:
       incumbent = params.explicit_ub;
       break;
+  }
+
+  // Duplicate-state detection: every state that enters the search is
+  // recorded; a child equal to a recorded state with an equal-or-better
+  // bound is pruned (identical states root identical subtrees).
+  std::unique_ptr<TranspositionTable> tt;
+  if (params.transposition.enabled) {
+    tt = std::make_unique<TranspositionTable>(params.transposition);
   }
 
   SlotPool pool(sizeof(Vertex), 8192);
@@ -217,6 +227,14 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           }
           continue;
         }
+        if (tt && tt->seen_or_insert(child.state, child.lb)) {
+          ++stats.pruned_children;  // duplicate of an already-seen state
+          if (params.trace) {
+            params.trace->record(TraceEvent::kTransposition,
+                                 child.state.count(), child.lb);
+          }
+          continue;
+        }
         staged.push_back(child);
       }
       if (children >= params.rb.max_children) break;
@@ -336,6 +354,13 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     if (!as.empty()) floor = std::min(floor, as.min_lb());
     floor = std::min(floor, compromise_floor);
     result.certified_lower_bound = std::min(floor, incumbent);
+  }
+  if (tt) {
+    const TranspositionCounters tc = tt->counters();
+    stats.tt_hits = tc.hits;
+    stats.tt_misses = tc.misses;
+    stats.tt_evictions = tc.evictions + tc.rejected;
+    stats.tt_collisions = tc.collisions;
   }
   stats.seconds = watch.seconds();
   return result;

@@ -27,6 +27,10 @@ struct SearchStats {
   std::uint64_t pruned_children = 0; ///< children discarded before insertion
   std::uint64_t pruned_active = 0;   ///< AS entries removed by E_U/DBAS
   std::uint64_t disposed = 0;        ///< AS entries dropped by RB.MAXSZAS
+  std::uint64_t tt_hits = 0;         ///< duplicates pruned by the table
+  std::uint64_t tt_misses = 0;       ///< table probes that found no duplicate
+  std::uint64_t tt_evictions = 0;    ///< table entries replaced (memory cap)
+  std::uint64_t tt_collisions = 0;   ///< equal fingerprint, unequal state
   std::size_t peak_active = 0;       ///< max |AS| observed
   std::size_t peak_memory_bytes = 0; ///< max vertex-pool footprint
   double seconds = 0.0;              ///< wall time of the search

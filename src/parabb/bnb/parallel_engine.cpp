@@ -6,11 +6,13 @@
 #include <cmath>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "parabb/bnb/lower_bound.hpp"
+#include "parabb/bnb/transposition.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
 #include "parabb/support/inline_vector.hpp"
@@ -45,7 +47,15 @@ struct Shared {
 
   std::atomic<bool> stop{false};  ///< time limit tripped
 
-  Shared(const SchedContext& c, const Params& p) : ctx(c), params(p) {}
+  /// Shared duplicate-state table (null when disabled). Lock-striped
+  /// internally, so workers probe it without a global lock.
+  std::unique_ptr<TranspositionTable> tt;
+
+  Shared(const SchedContext& c, const Params& p) : ctx(c), params(p) {
+    if (p.transposition.enabled) {
+      tt = std::make_unique<TranspositionTable>(p.transposition);
+    }
+  }
 
   Time threshold() const {
     return prune_threshold(incumbent.load(std::memory_order_relaxed),
@@ -116,6 +126,10 @@ void expand(Shared& sh, const WorkItem& item, std::vector<WorkItem>& out,
       }
       if (sh.params.elim == ElimRule::kUDBAS && child.lb >= threshold) {
         ++stats.pruned_children;
+        continue;
+      }
+      if (sh.tt && sh.tt->seen_or_insert(child.state, child.lb)) {
+        ++stats.pruned_children;  // duplicate: another worker owns this state
         continue;
       }
       out.push_back(std::move(child));
@@ -303,6 +317,13 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   result.proved = result.found_solution &&
                   reason != TerminationReason::kTimeLimit &&
                   pp.base.branch == BranchRule::kBFn;
+  if (sh.tt) {
+    const TranspositionCounters tc = sh.tt->counters();
+    result.stats.tt_hits = tc.hits;
+    result.stats.tt_misses = tc.misses;
+    result.stats.tt_evictions = tc.evictions + tc.rejected;
+    result.stats.tt_collisions = tc.collisions;
+  }
   result.stats.seconds = watch.seconds();
   return result;
 }

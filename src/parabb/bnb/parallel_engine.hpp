@@ -26,7 +26,9 @@ struct ParallelParams {
   /// Base 9-tuple. `select` is ignored (always LIFO dives); `rb.max_active`
   /// and `rb.max_children` are ignored (no disposal in the parallel
   /// engine); `dominance` is ignored. BR, LB, branch rule, UB init and the
-  /// time limit apply.
+  /// time limit apply. `transposition` is honored: one table is shared by
+  /// every worker (lock-striped), so a state expanded by any thread is
+  /// pruned as a duplicate everywhere else.
   Params base;
   int threads = 0;  ///< 0 = hardware concurrency
 };

@@ -53,6 +53,10 @@ std::string describe(const Params& p) {
   os << "B=" << to_string(p.branch) << " S=" << to_string(p.select)
      << " E=" << to_string(p.elim) << " L=" << to_string(p.lb)
      << " U=" << to_string(p.ub) << " BR=" << p.br * 100.0 << "%";
+  if (p.transposition.enabled) {
+    os << " TT=" << (p.transposition.memory_cap_bytes >> 20) << "MiB/"
+       << p.transposition.shards << "sh";
+  }
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <string>
 
+#include "parabb/bnb/transposition.hpp"
 #include "parabb/sched/context.hpp"
 #include "parabb/sched/partial_schedule.hpp"
 #include "parabb/support/types.hpp"
@@ -90,6 +91,14 @@ struct Params {
   /// LIFO across equal-bound plateaus (bench/ablation_llbtie quantifies
   /// the difference — it is the entire LLB-vs-LIFO story).
   bool llb_tie_newest = false;
+
+  /// Duplicate-state detection (bnb/transposition.hpp): when enabled, a
+  /// child whose exact state already entered the search with an
+  /// equal-or-better bound is pruned before activation. Sound for every
+  /// rule combination (identical states root identical subtrees) and
+  /// shared across workers in the parallel engine. Off by default to keep
+  /// the paper's baseline configuration untouched.
+  TranspositionConfig transposition;
   CharacteristicFn characteristic;  ///< F (optional)
   DominanceFn dominance;            ///< D (optional)
 

@@ -1,5 +1,7 @@
 #include "parabb/bnb/trace.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "parabb/support/assert.hpp"
@@ -11,9 +13,14 @@ SearchTrace::SearchTrace(std::size_t capacity) : ring_(capacity) {
 }
 
 void SearchTrace::record(TraceEvent event, int level, Time value) noexcept {
-  TraceRecord& slot = ring_[next_index_ % ring_.size()];
+  TraceRecord& slot =
+      ring_[static_cast<std::size_t>(next_index_ % ring_.size())];
   slot.event = event;
-  slot.level = static_cast<std::int16_t>(level);
+  // Clamped narrowing: levels are task counts (well inside int16) but a
+  // garbage value must not wrap into a plausible-looking one.
+  slot.level = static_cast<std::int16_t>(
+      std::clamp<int>(level, std::numeric_limits<std::int16_t>::min(),
+                      std::numeric_limits<std::int16_t>::max()));
   slot.value = value;
   slot.index = next_index_;
   ++next_index_;
@@ -54,6 +61,7 @@ std::string to_string(TraceEvent event) {
     case TraceEvent::kIncumbent: return "incumbent";
     case TraceEvent::kPruneActive: return "prune-active";
     case TraceEvent::kDispose: return "dispose";
+    case TraceEvent::kTransposition: return "transposition";
   }
   return "?";
 }

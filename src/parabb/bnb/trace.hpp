@@ -25,6 +25,7 @@ enum class TraceEvent : std::uint8_t {
   kIncumbent,   ///< incumbent improved (value = new cost)
   kPruneActive, ///< active-set entries removed by E (value = count)
   kDispose,     ///< entries dropped by RB.MAXSZAS (value = count)
+  kTransposition, ///< duplicate state pruned by the table (value = bound)
 };
 
 struct TraceRecord {

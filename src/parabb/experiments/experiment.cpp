@@ -17,6 +17,9 @@ struct RunSample {
   double lateness = 0;
   double seconds = 0;
   double peak_active = 0;
+  double tt_hit_rate = 0;
+  double tt_evictions = 0;
+  double tt_collisions = 0;
   bool excluded = false;
   bool unproved = false;
 };
@@ -48,6 +51,12 @@ RunSample run_variant(const AlgorithmVariant& variant, const SchedContext& ctx) 
       s.vertices = static_cast<double>(r.stats.generated);
       s.lateness = static_cast<double>(r.best_cost);
       s.peak_active = static_cast<double>(r.stats.peak_active);
+      const double probes =
+          static_cast<double>(r.stats.tt_hits + r.stats.tt_misses);
+      s.tt_hit_rate =
+          probes > 0 ? static_cast<double>(r.stats.tt_hits) / probes : 0.0;
+      s.tt_evictions = static_cast<double>(r.stats.tt_evictions);
+      s.tt_collisions = static_cast<double>(r.stats.tt_collisions);
       s.excluded = r.reason == TerminationReason::kTimeLimit;
       s.unproved = !r.proved;
       break;
@@ -136,6 +145,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           cell.lateness.add(s.lateness);
           cell.seconds.add(s.seconds);
           cell.peak_active.add(s.peak_active);
+          cell.tt_hit_rate.add(s.tt_hit_rate);
+          cell.tt_evictions.add(s.tt_evictions);
+          cell.tt_collisions.add(s.tt_collisions);
         }
       }
     }

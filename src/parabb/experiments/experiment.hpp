@@ -63,6 +63,9 @@ struct CellStats {
   OnlineStats lateness;   ///< maximum task lateness of the best solution
   OnlineStats seconds;    ///< per-run wall time
   OnlineStats peak_active;///< peak |AS|
+  OnlineStats tt_hit_rate;  ///< transposition hits / probes (0 when off)
+  OnlineStats tt_evictions; ///< entries evicted or rejected per run
+  OnlineStats tt_collisions;///< equal-fingerprint/unequal-state per run
   std::uint64_t excluded = 0;  ///< runs dropped for exceeding TIMELIMIT
   std::uint64_t unproved = 0;  ///< runs that lost the optimality guarantee
 };

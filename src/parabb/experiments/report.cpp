@@ -8,14 +8,27 @@ namespace parabb {
 
 TextTable make_report_table(const ExperimentConfig& config,
                             const ExperimentResult& result) {
+  // Transposition-table columns appear only when some variant uses the
+  // table, so the paper-reproduction reports keep their original shape.
+  bool any_tt = false;
+  for (const AlgorithmVariant& v : config.variants) {
+    any_tt |= v.kind == AlgorithmVariant::Kind::kBnB &&
+              v.params.transposition.enabled;
+  }
+
   TextTable table;
-  table.set_header({"variant", "m", "vertices", "lateness", "ms/run",
-                    "peak |AS|", "excl", "unprov", "runs"});
+  std::vector<std::string> header{"variant", "m",    "vertices",
+                                  "lateness", "ms/run", "peak |AS|"};
+  if (any_tt) {
+    header.insert(header.end(), {"TT hit%", "TT evict", "TT coll"});
+  }
+  header.insert(header.end(), {"excl", "unprov", "runs"});
+  table.set_header(std::move(header));
   for (std::size_t v = 0; v < config.variants.size(); ++v) {
     if (v > 0) table.add_rule();
     for (std::size_t mi = 0; mi < config.machine_sizes.size(); ++mi) {
       const CellStats& cell = result.cells[v][mi];
-      table.add_row({
+      std::vector<std::string> row{
           config.variants[v].label,
           std::to_string(config.machine_sizes[mi]),
           fmt_ci(cell.vertices.mean(),
@@ -24,10 +37,16 @@ TextTable make_report_table(const ExperimentConfig& config,
                  ci_halfwidth(cell.lateness, config.lateness_confidence), 2),
           fmt_double(cell.seconds.mean() * 1e3, 3),
           fmt_double(cell.peak_active.mean(), 1),
-          std::to_string(cell.excluded),
-          std::to_string(cell.unproved),
-          std::to_string(cell.vertices.count()),
-      });
+      };
+      if (any_tt) {
+        row.push_back(fmt_double(cell.tt_hit_rate.mean() * 100.0, 1));
+        row.push_back(fmt_double(cell.tt_evictions.mean(), 1));
+        row.push_back(fmt_double(cell.tt_collisions.mean(), 1));
+      }
+      row.insert(row.end(), {std::to_string(cell.excluded),
+                             std::to_string(cell.unproved),
+                             std::to_string(cell.vertices.count())});
+      table.add_row(std::move(row));
     }
   }
   return table;

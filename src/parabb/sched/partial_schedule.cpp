@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "parabb/support/hash.hpp"
+
 namespace parabb {
+namespace {
+
+// One key per (task, processor) cell; the dynamic start time is folded in
+// through mix64 so equal (task, proc) placements at different times get
+// unrelated keys.
+constexpr auto kPlacementKeys =
+    zobrist_keys<static_cast<std::size_t>(kMaxTasks) * kMaxProcs>(
+        0x7ab5a1c0ffee5eedULL);
+
+}  // namespace
 
 PartialSchedule PartialSchedule::empty(const SchedContext& ctx) {
   PartialSchedule ps;
@@ -55,7 +67,56 @@ CTime PartialSchedule::place(const SchedContext& ctx, TaskId t,
     const auto us = static_cast<std::size_t>(succ);
     if (--missing_preds_[us] == 0) ready_.insert(succ);
   }
+  hash_ ^= placement_key(t, p, s);
   return s;
+}
+
+void PartialSchedule::unplace(const SchedContext& ctx, TaskId t) noexcept {
+  PARABB_ASSERT(scheduled_.contains(t));
+  const auto ut = static_cast<std::size_t>(t);
+  const ProcId p = proc_[ut];
+  const auto up = static_cast<std::size_t>(p);
+  // Reversibility: t is the frontier task of its processor (append-only
+  // operation, so only the last appended task can be peeled off) and none
+  // of its successors has been scheduled on the strength of it.
+  PARABB_ASSERT(avail_[up] == start_[ut] + ctx.exec(t));
+  hash_ ^= placement_key(t, p, start_[ut]);
+  scheduled_.erase(t);
+  ready_.insert(t);
+  --count_;
+  for (const TaskId succ : ctx.succ_ids(t)) {
+    PARABB_ASSERT(!scheduled_.contains(succ));
+    const auto us = static_cast<std::size_t>(succ);
+    if (missing_preds_[us]++ == 0) ready_.erase(succ);
+  }
+  // The frontier reverts to the latest remaining finish on p (0 when the
+  // processor becomes empty again, matching the empty-schedule state).
+  CTime frontier = 0;
+  for (const TaskId other : scheduled_) {
+    const auto uo = static_cast<std::size_t>(other);
+    if (proc_[uo] == p) {
+      frontier = std::max(frontier, start_[uo] + ctx.exec(other));
+    }
+  }
+  avail_[up] = frontier;
+}
+
+std::uint64_t PartialSchedule::fingerprint_from_scratch() const noexcept {
+  std::uint64_t h = 0;
+  for (const TaskId t : scheduled_) {
+    const auto ut = static_cast<std::size_t>(t);
+    h ^= placement_key(t, proc_[ut], start_[ut]);
+  }
+  return h;
+}
+
+std::uint64_t PartialSchedule::placement_key(TaskId t, ProcId p,
+                                             CTime start) noexcept {
+  const std::size_t cell = static_cast<std::size_t>(t) *
+                               static_cast<std::size_t>(kMaxProcs) +
+                           static_cast<std::size_t>(p);
+  return mix64(kPlacementKeys[cell] ^
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(start)));
 }
 
 Time PartialSchedule::max_lateness_scheduled(

@@ -70,6 +70,29 @@ class PartialSchedule {
   /// Returns the assigned start time. Updates the ready set.
   CTime place(const SchedContext& ctx, TaskId t, ProcId p) noexcept;
 
+  /// Undoes a placement. Only legal when the scheduling operation is still
+  /// reversible: t must be the last task appended to its processor and no
+  /// successor of t may be scheduled (both asserted). Restores the ready
+  /// set, the processor frontier, and the incremental fingerprint.
+  void unplace(const SchedContext& ctx, TaskId t) noexcept;
+
+  /// Canonical 64-bit state fingerprint: XOR over every scheduled task of
+  /// a Zobrist-style key derived from (task, processor, start time).
+  /// Maintained incrementally by place()/unplace(); equal states always
+  /// have equal fingerprints, and because the scheduling operation fully
+  /// determines the frontier from the placement set, unequal fingerprints
+  /// only collide with ~2^-64 probability (the transposition table falls
+  /// back to operator== on fingerprint matches regardless).
+  std::uint64_t fingerprint() const noexcept { return hash_; }
+
+  /// Fingerprint recomputed from scratch over the scheduled set; must
+  /// always equal fingerprint() (property-tested).
+  std::uint64_t fingerprint_from_scratch() const noexcept;
+
+  /// The Zobrist-style key one placement contributes to the fingerprint.
+  static std::uint64_t placement_key(TaskId t, ProcId p,
+                                     CTime start) noexcept;
+
   /// Max lateness over the *scheduled* prefix (kTimeNegInf when empty).
   Time max_lateness_scheduled(const SchedContext& ctx) const noexcept;
 
@@ -84,6 +107,7 @@ class PartialSchedule {
   std::array<std::int8_t, kMaxTasks> proc_{};
   std::array<std::int8_t, kMaxTasks> missing_preds_{};
   std::int16_t count_ = 0;
+  std::uint64_t hash_ = 0;  ///< incremental Zobrist fingerprint
 };
 
 }  // namespace parabb

@@ -1,0 +1,40 @@
+// 64-bit mixing and Zobrist-style key material for incremental state
+// fingerprints.
+//
+// The transposition table (bnb/transposition.hpp) identifies duplicate
+// search states by a 64-bit fingerprint that PartialSchedule maintains
+// incrementally: each placement XORs one key into the running hash, so the
+// fingerprint is independent of the order in which commuting placements
+// were made and is undone by XORing the same key out again. Keys are
+// derived deterministically at compile time from a fixed seed — identical
+// across runs, platforms, and threads, which the differential and
+// determinism tests rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace parabb {
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// N statistically independent 64-bit keys from the SplitMix64 stream.
+template <std::size_t N>
+constexpr std::array<std::uint64_t, N> zobrist_keys(
+    std::uint64_t seed) noexcept {
+  std::array<std::uint64_t, N> keys{};
+  std::uint64_t s = seed;
+  for (auto& k : keys) {
+    k = mix64(s);
+    s = k;
+  }
+  return keys;
+}
+
+}  // namespace parabb

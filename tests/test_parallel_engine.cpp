@@ -99,6 +99,38 @@ TEST(ParallelEngine, BrGuaranteeHolds) {
   EXPECT_LE(static_cast<double>(r.best_cost - opt), allowed);
 }
 
+// The shared lock-striped transposition table must not perturb the result:
+// whatever the thread count (and thus probe interleaving / eviction order),
+// the engine returns the same optimal lateness and a validator-clean
+// incumbent. Run under PARABB_SANITIZE=thread in CI to also certify the
+// table and work-queue synchronization race-free.
+TEST(ParallelEngine, TranspositionDeterministicAcrossThreadCounts) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    const TaskGraph g = test::tight_instance(seed);
+    const Machine machine = make_shared_bus_machine(3);
+    const SchedContext ctx(g, machine);
+
+    // Reference: sequential solve without the table.
+    const Time reference = solve_bnb(ctx, Params{}).best_cost;
+
+    for (const int threads : {1, 2, 8}) {
+      ParallelParams pp;
+      pp.threads = threads;
+      pp.base.transposition.enabled = true;
+      pp.base.transposition.shards = 4;  // < threads at 8: real contention
+      const ParallelResult r = solve_bnb_parallel(ctx, pp);
+      ASSERT_TRUE(r.found_solution);
+      EXPECT_TRUE(r.proved);
+      EXPECT_EQ(r.best_cost, reference)
+          << "seed " << seed << " threads " << threads;
+      const ValidationReport rep = validate_schedule(r.best, g, machine);
+      EXPECT_TRUE(rep.structurally_sound) << rep.error;
+      EXPECT_EQ(max_lateness(r.best, g), r.best_cost);
+      EXPECT_GT(r.stats.tt_hits + r.stats.tt_misses, 0u);
+    }
+  }
+}
+
 TEST(ParallelEngine, StatsAreMerged) {
   const TaskGraph g = test::tight_instance(27);
   const SchedContext ctx = test::make_ctx(g, 2);
