@@ -1,0 +1,112 @@
+// Solver-service micro-benchmarks (google-benchmark).
+//
+// Measures the service layer itself rather than the search: end-to-end
+// job throughput (admission → dispatch → solve → finalize) on 14-task
+// paper-shaped graphs across worker counts, result-cache hit latency,
+// and cancellation latency (cancel() call to terminal result) against a
+// search that would otherwise run unbounded.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "parabb/service/service.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+namespace {
+
+GeneratorConfig graph14_config() {
+  GeneratorConfig cfg = paper_config();
+  cfg.n_min = 14;
+  cfg.n_max = 14;
+  return cfg;
+}
+
+JobRequest service_request(int i) {
+  JobRequest req;
+  req.id = "bench-" + std::to_string(i);
+  req.graph =
+      generate_graph(graph14_config(), static_cast<std::uint64_t>(i % 16))
+          .graph;
+  req.machine.procs = 2 + i % 2;
+  req.machine.comm = CommModel::per_item(1);
+  req.budget.max_generated = 20000;  // bound the per-job search effort
+  return req;
+}
+
+/// Unbounded 26-task search: runs until cancelled.
+JobRequest endless_request() {
+  GeneratorConfig cfg = paper_config();
+  cfg.n_min = 26;
+  cfg.n_max = 26;
+  cfg.depth_min = 8;
+  cfg.depth_max = 10;
+  JobRequest req;
+  req.id = "endless";
+  req.graph = generate_graph(cfg, 7).graph;
+  req.machine.procs = 4;
+  req.machine.comm = CommModel::per_item(1);
+  req.params.lb = LowerBound::kLB0;
+  req.params.select = SelectRule::kFIFO;
+  return req;
+}
+
+void BM_ServiceJobsPerSecond(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    // Cache off: this measures dispatch + solve, not memoization.
+    SolverService service({.workers = workers, .cache_entries = 0});
+    for (int i = 0; i < kBatch; ++i) {
+      service.submit(service_request(i));
+    }
+    service.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+// UseRealTime: the solves run on pool threads, so the default CPU-time
+// rate counter would overstate throughput by ~50x.
+BENCHMARK(BM_ServiceJobsPerSecond)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceCacheHit(benchmark::State& state) {
+  SolverService service({.workers = 1, .cache_entries = 32});
+  (void)service.wait(service.submit(service_request(0)));  // warm
+  for (auto _ : state) {
+    const JobResult r = service.wait(service.submit(service_request(0)));
+    benchmark::DoNotOptimize(r.cached);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCacheHit)->Unit(benchmark::kMicrosecond);
+
+/// cancel() → terminal result, against a running unbounded search. The
+/// pre-cancel ramp (submission + 2 ms for the engine to get going) is
+/// excluded via manual timing.
+void BM_CancellationLatency(benchmark::State& state) {
+  SolverService service({.workers = 1, .cache_entries = 0});
+  for (auto _ : state) {
+    const JobTicket ticket = service.submit(endless_request());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const auto start = std::chrono::steady_clock::now();
+    service.cancel(ticket);
+    (void)service.wait(ticket);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+  }
+}
+BENCHMARK(BM_CancellationLatency)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace parabb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Cooperative cancellation for the B&B engines.
+//
+// A CancelToken is a single atomic flag shared between a controller (the
+// solver service, a signal handler, a test) and a running search. The
+// engines poll it on the hot loop — every 256 expansions in the sequential
+// engine, every private-stack pop in the parallel one — so a cancelled
+// search unwinds within a sub-millisecond latency while the poll itself is
+// one relaxed load, unmeasurable next to a vertex expansion. A cancelled
+// search returns normally with TerminationReason::kCancelled and the best
+// incumbent found so far; it never aborts or throws.
+//
+// cancel() is async-signal-safe (a lock-free atomic store), so a SIGINT
+// handler may trip it directly (tools/parabb_solve does).
+#pragma once
+
+#include <atomic>
+
+namespace parabb {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent, thread-safe, signal-safe.
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms a token for reuse across searches (not concurrently with one).
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace parabb

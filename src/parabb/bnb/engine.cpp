@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "parabb/bnb/active_set.hpp"
+#include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/trace.hpp"
 #include "parabb/bnb/transposition.hpp"
@@ -138,10 +139,26 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
 
   // --- Step 3-10: main loop. ---
   while (!as.empty()) {
-    if ((++iter & 0xFFu) == 0 &&
-        watch.seconds() > params.rb.time_limit_s) {
-      result.reason = TerminationReason::kTimeLimit;
+    // Deterministic effort caps are enforced exactly (two comparisons per
+    // expansion): the service's golden tests rely on a max_generated
+    // budget tripping at the same vertex on every run.
+    if (stats.generated >= params.rb.max_generated ||
+        pool.memory_bytes() >= params.rb.max_memory_bytes) {
+      result.reason = TerminationReason::kBudget;
       break;
+    }
+    // Cancellation / wall-clock polls are amortized over 256 expansions
+    // so the checks (one relaxed load, one clock read) stay off the hot
+    // path.
+    if ((++iter & 0xFFu) == 0) {
+      if (params.cancel && params.cancel->cancelled()) {
+        result.reason = TerminationReason::kCancelled;
+        break;
+      }
+      if (watch.seconds() > params.rb.time_limit_s) {
+        result.reason = TerminationReason::kTimeLimit;
+        break;
+      }
     }
 
     const Time threshold = prune_threshold(incumbent, params.br);
@@ -343,7 +360,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
 
   result.best_cost = incumbent;
   result.proved = result.found_solution && !compromised &&
-                  result.reason != TerminationReason::kTimeLimit &&
+                  !is_interrupted(result.reason) &&
                   params.branch == BranchRule::kBFn;
 
   // Optimality-gap certificate (see SearchResult::certified_lower_bound).

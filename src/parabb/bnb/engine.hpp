@@ -16,7 +16,17 @@ enum class TerminationReason : std::uint8_t {
   kExhausted,   ///< active set ran empty
   kBoundStop,   ///< S_LLB stop condition: selected bound >= incumbent
   kTimeLimit,   ///< RB.TIMELIMIT exceeded; best-so-far returned
+  kCancelled,   ///< cooperative CancelToken tripped; best-so-far returned
+  kBudget,      ///< RB.max_generated / max_memory_bytes hit; best-so-far
 };
+
+/// True for the reasons that end a search early with the incumbent
+/// (time limit, cancellation, budget exhaustion) rather than by proof.
+constexpr bool is_interrupted(TerminationReason r) noexcept {
+  return r == TerminationReason::kTimeLimit ||
+         r == TerminationReason::kCancelled ||
+         r == TerminationReason::kBudget;
+}
 
 struct SearchStats {
   std::uint64_t expanded = 0;        ///< vertices selected and branched

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/transposition.hpp"
 #include "parabb/sched/edf.hpp"
@@ -45,7 +46,12 @@ struct Shared {
   int idle = 0;       ///< workers currently without work (under queue_mutex)
   bool done = false;  ///< search finished (under queue_mutex)
 
-  std::atomic<bool> stop{false};  ///< time limit tripped
+  std::atomic<bool> stop{false};  ///< time limit / cancel / budget tripped
+  /// Why `stop` was raised; the first cause wins (compare-exchange).
+  std::atomic<TerminationReason> stop_reason{TerminationReason::kExhausted};
+  /// Generated vertices across all workers, for RB.max_generated. One
+  /// relaxed add per expansion (batched), invisible next to expansion cost.
+  std::atomic<std::uint64_t> generated{0};
 
   /// Shared duplicate-state table (null when disabled). Lock-striped
   /// internally, so workers probe it without a global lock.
@@ -60,6 +66,30 @@ struct Shared {
   Time threshold() const {
     return prune_threshold(incumbent.load(std::memory_order_relaxed),
                            params.br);
+  }
+
+  /// Raises `stop` with reason `r`; the first caller's reason sticks.
+  void request_stop(TerminationReason r) {
+    TerminationReason expected = TerminationReason::kExhausted;
+    stop_reason.compare_exchange_strong(expected, r,
+                                        std::memory_order_relaxed);
+    stop.store(true);
+    queue_cv.notify_all();
+  }
+
+  /// Cancellation / generated-budget poll, called once per expanded vertex.
+  bool should_stop() {
+    if (stop.load(std::memory_order_relaxed)) return true;
+    if (params.cancel && params.cancel->cancelled()) {
+      request_stop(TerminationReason::kCancelled);
+      return true;
+    }
+    if (generated.load(std::memory_order_relaxed) >=
+        params.rb.max_generated) {
+      request_stop(TerminationReason::kBudget);
+      return true;
+    }
+    return false;
   }
 
   void offer_goal(const PartialSchedule& state, Time cost,
@@ -106,10 +136,12 @@ void expand(Shared& sh, const WorkItem& item, std::vector<WorkItem>& out,
   ++stats.expanded;
   const Time threshold = sh.threshold();
   const std::size_t base = out.size();
+  std::uint64_t generated_here = 0;
   for (const TaskId t :
        branch_tasks(sh.ctx, sh.params.branch, item.state.ready())) {
     for (ProcId p = 0; p < sh.ctx.proc_count(); ++p) {
       ++stats.generated;
+      ++generated_here;
       WorkItem child;
       child.state = item.state;
       child.state.place(sh.ctx, t, p);
@@ -135,6 +167,9 @@ void expand(Shared& sh, const WorkItem& item, std::vector<WorkItem>& out,
       out.push_back(std::move(child));
       ++stats.activated;
     }
+  }
+  if (generated_here > 0) {
+    sh.generated.fetch_add(generated_here, std::memory_order_relaxed);
   }
   if (sh.params.sort_children) {
     std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
@@ -172,7 +207,7 @@ void worker_loop(Shared& sh, SearchStats& stats) {
 
     // Depth-first dive on the private stack.
     while (!local.empty()) {
-      if (sh.stop.load(std::memory_order_relaxed)) {
+      if (sh.should_stop()) {
         local.clear();
         break;
       }
@@ -259,6 +294,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     std::vector<WorkItem> buf;
     while (!frontier.empty() &&
            frontier.size() < static_cast<std::size_t>(threads) * 4) {
+      if (sh.should_stop()) break;
       const WorkItem item = std::move(frontier.front());
       frontier.pop_front();
       if (pp.base.elim == ElimRule::kUDBAS && item.lb >= sh.threshold()) {
@@ -273,7 +309,6 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     sh.queue_hint.store(sh.queue.size());
   }
 
-  TerminationReason reason = TerminationReason::kExhausted;
   if (!sh.queue.empty()) {
     std::vector<SearchStats> per_thread(static_cast<std::size_t>(threads));
     std::vector<std::thread> pool;
@@ -284,7 +319,8 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       });
     }
 
-    // Time-limit supervisor (main thread).
+    // Time-limit supervisor (main thread); cancellation and the generated
+    // budget are polled by the workers themselves (Shared::should_stop).
     const double limit = pp.base.rb.time_limit_s;
     if (std::isfinite(limit)) {
       for (;;) {
@@ -293,9 +329,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
           if (sh.done) break;
         }
         if (watch.seconds() >= limit) {
-          sh.stop.store(true);
-          reason = TerminationReason::kTimeLimit;
-          sh.queue_cv.notify_all();
+          sh.request_stop(TerminationReason::kTimeLimit);
           break;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -305,6 +339,9 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     for (const SearchStats& s : per_thread) merge_stats(result.stats, s);
   }
   merge_stats(result.stats, seed_stats);
+  const TerminationReason reason = sh.stop.load()
+                                       ? sh.stop_reason.load()
+                                       : TerminationReason::kExhausted;
 
   result.best_cost = sh.incumbent.load();
   if (sh.found) {
@@ -314,8 +351,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     result.best = std::move(initial_best);  // the EDF seed stands
   }
   result.reason = reason;
-  result.proved = result.found_solution &&
-                  reason != TerminationReason::kTimeLimit &&
+  result.proved = result.found_solution && !is_interrupted(reason) &&
                   pp.base.branch == BranchRule::kBFn;
   if (sh.tt) {
     const TranspositionCounters tc = sh.tt->counters();

@@ -25,10 +25,12 @@ namespace parabb {
 struct ParallelParams {
   /// Base 9-tuple. `select` is ignored (always LIFO dives); `rb.max_active`
   /// and `rb.max_children` are ignored (no disposal in the parallel
-  /// engine); `dominance` is ignored. BR, LB, branch rule, UB init and the
-  /// time limit apply. `transposition` is honored: one table is shared by
-  /// every worker (lock-striped), so a state expanded by any thread is
-  /// pruned as a duplicate everywhere else.
+  /// engine); `rb.max_memory_bytes` is ignored (worker memory is bounded by
+  /// dive depth, not an active set); `dominance` is ignored. BR, LB, branch
+  /// rule, UB init, the time limit, `rb.max_generated` (summed across
+  /// workers) and the `cancel` token apply. `transposition` is honored: one
+  /// table is shared by every worker (lock-striped), so a state expanded by
+  /// any thread is pruned as a duplicate everywhere else.
   Params base;
   int threads = 0;  ///< 0 = hardware concurrency
 };

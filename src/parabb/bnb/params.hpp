@@ -15,6 +15,7 @@
 namespace parabb {
 
 class SearchTrace;  // bnb/trace.hpp
+class CancelToken;  // bnb/cancel.hpp
 
 /// S — vertex selection rule (§3.2).
 enum class SelectRule : std::uint8_t {
@@ -50,11 +51,24 @@ enum class UpperBoundInit : std::uint8_t {
   kExplicit,  ///< caller-supplied cost (e.g. the §6 "positive value")
 };
 
-/// RB — resource bounds (TIMELIMIT, MAXSZAS, MAXSZDB).
+/// RB — resource bounds (TIMELIMIT, MAXSZAS, MAXSZDB), extended with the
+/// per-job budget caps the solver service enforces (service/job.hpp maps a
+/// Budget onto these). TIMELIMIT and the disposal bounds are the paper's;
+/// `max_generated` / `max_memory_bytes` stop the search outright — best
+/// incumbent returned with TerminationReason::kBudget — instead of
+/// compromising it by disposal. Caps are polled on the hot loop, so they
+/// are honored to within one polling interval (256 expansions).
 struct ResourceBounds {
   double time_limit_s = std::numeric_limits<double>::infinity();
   std::size_t max_active = std::numeric_limits<std::size_t>::max();
   int max_children = std::numeric_limits<int>::max();
+  /// Cap on generated (cost-evaluated) vertices; the classic proxy for
+  /// total search effort, deterministic across runs unlike wall clock.
+  std::uint64_t max_generated = std::numeric_limits<std::uint64_t>::max();
+  /// Cap on the active-set vertex-pool footprint, in bytes. Enforced by
+  /// the sequential engine; the parallel engine's memory is bounded by
+  /// dive depth instead of an active set, so it ignores this field.
+  std::size_t max_memory_bytes = std::numeric_limits<std::size_t>::max();
 };
 
 /// F — optional characteristic function: return false to discard a partial
@@ -107,6 +121,11 @@ struct Params {
   /// events; the parallel engine ignores it (cross-thread ordering would
   /// be meaningless).
   SearchTrace* trace = nullptr;
+
+  /// Optional cooperative cancellation token (bnb/cancel.hpp); not owned,
+  /// may be null. Both engines poll it on the hot loop and return the best
+  /// incumbent with TerminationReason::kCancelled once it trips.
+  const CancelToken* cancel = nullptr;
 };
 
 std::string to_string(SelectRule s);

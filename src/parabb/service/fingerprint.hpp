@@ -1,0 +1,37 @@
+// Canonical request fingerprinting for the result cache.
+//
+// Two requests must hit the same cache entry iff re-running the solver
+// could be skipped: same task graph (structure, weights, deadlines —
+// names included, since responses echo them), same machine (processor
+// count, communication model, topology hop matrix), same 9-tuple
+// parameters, same engine (sequential vs parallel), and same budget (a
+// budget-truncated search depends on its caps, so a job with a different
+// budget is a different request).
+//
+// The fingerprint is a 64-bit mix64 chain (support/hash.hpp — the same
+// SplitMix64 machinery behind the transposition table's Zobrist keys)
+// over a *canonical key string*: the normalized TGF serialization of the
+// graph plus a stable rendering of machine/params/budget. The cache keeps
+// the key string alongside each entry and compares it on a fingerprint
+// match, so a 64-bit collision costs one string compare, never a wrong
+// answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "parabb/service/job.hpp"
+
+namespace parabb {
+
+/// 64-bit hash of an arbitrary byte string via the mix64 chain.
+std::uint64_t fingerprint_bytes(const std::string& bytes) noexcept;
+
+/// The canonical key string of a request (deterministic across runs and
+/// platforms; see file comment for what it covers).
+std::string request_key(const JobRequest& request);
+
+/// fingerprint_bytes(request_key(request)).
+std::uint64_t request_fingerprint(const JobRequest& request);
+
+}  // namespace parabb

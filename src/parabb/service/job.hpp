@@ -1,0 +1,86 @@
+// Solver-service job model: what a client submits (JobRequest), the
+// resources a job may consume (Budget), and what comes back (JobResult
+// with a four-way JobOutcome taxonomy).
+//
+// A job is one B&B solve of one task graph on one machine description.
+// The service enforces the budget *cooperatively*: the engine polls a
+// cancellation token and its resource bounds on the hot loop and returns
+// the best incumbent found so far — a budget-expired job yields a usable
+// (validator-clean) schedule with outcome kFeasibleTimeout, never an
+// aborted process (the anytime operation arXiv:1905.05568 argues is the
+// only way to run exact schedulers at scale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/bnb/params.hpp"
+#include "parabb/platform/machine.hpp"
+#include "parabb/sched/schedule.hpp"
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb {
+
+/// Per-job resource budget. Zero means "unlimited" for every field, so a
+/// default-constructed Budget imposes nothing.
+struct Budget {
+  double wall_ms = 0;                ///< wall-clock cap in milliseconds
+  std::uint64_t max_generated = 0;   ///< generated-vertex cap
+  std::size_t max_active_bytes = 0;  ///< active-set vertex-pool memory cap
+
+  bool unlimited() const noexcept {
+    return wall_ms <= 0 && max_generated == 0 && max_active_bytes == 0;
+  }
+};
+
+/// Maps a Budget onto the engine's resource bounds and ties the given
+/// cancellation token to `params`. Existing tighter bounds are kept (the
+/// budget can only shrink what the caller already set).
+void apply_budget(Params& params, const Budget& budget,
+                  const CancelToken* cancel);
+
+/// Terminal outcome of a job, the service's client-facing taxonomy.
+enum class JobOutcome : std::uint8_t {
+  kOptimal,          ///< search completed; result carries its guarantee
+  kFeasibleTimeout,  ///< budget expired; best incumbent returned
+  kCancelled,        ///< cancelled; any incumbent found so far returned
+  kInfeasible,       ///< search completed without finding any schedule
+};
+
+std::string to_string(JobOutcome o);
+
+/// Folds an engine termination reason + solution flag into the taxonomy.
+JobOutcome outcome_of(TerminationReason reason, bool found_solution);
+
+/// One solve request. The graph/machine are owned by value: a request is
+/// self-contained and outlives the client buffer it was parsed from.
+struct JobRequest {
+  std::string id;     ///< client-chosen tag, echoed in the response
+  TaskGraph graph;
+  Machine machine;
+  Params params;      ///< `trace` and `cancel` are service-owned: ignored
+  int threads = 1;    ///< 1 = sequential engine; >1 = parallel engine
+  int priority = 0;   ///< higher admits earlier; FIFO within a priority
+  Budget budget;
+};
+
+/// One terminal response. `schedule` is meaningful iff `found`.
+struct JobResult {
+  std::string id;
+  JobOutcome outcome = JobOutcome::kInfeasible;
+  bool found = false;
+  Schedule schedule;
+  Time cost = kTimeInf;
+  bool proved = false;
+  Time certified_lower_bound = kTimeNegInf;
+  TerminationReason reason = TerminationReason::kExhausted;
+  std::uint64_t generated = 0;  ///< vertices cost-evaluated by the search
+  bool cached = false;          ///< served from the result cache
+  double seconds = 0.0;         ///< solve wall time (0 for cache hits)
+  /// Non-empty when the job failed before/inside the engine (bad request,
+  /// capacity limits). An errored job has no meaningful outcome fields.
+  std::string error;
+};
+
+}  // namespace parabb

@@ -1,0 +1,52 @@
+// JSONL request/response protocol of the parabb_serve front end.
+//
+// One request per input line, one response per output line, correlated by
+// the client-chosen `id`; responses may be emitted out of submission
+// order (the service completes jobs as workers free up). The full schema
+// lives in docs/formats.md ("Solver service protocol"); in brief:
+//
+//   request  {"id":"r1","graph":"task a exec=3\n...","procs":2,
+//             "select":"lifo","budget":{"wall_ms":1000},...}
+//   response {"id":"r1","outcome":"optimal","cost":-2,"proved":true,
+//             "cached":false,"generated":41,"seconds":0.001,
+//             "schedule":[{"task":"a","proc":0,"start":0,"finish":3},...]}
+//   error    {"id":"r1","error":"tgf parse error at line 2: ..."}
+//
+// Response field order is fixed, so output lines are byte-deterministic
+// for deterministic jobs (the serve smoke test diffs against a golden
+// file after zeroing the "seconds" field).
+#pragma once
+
+#include <string>
+
+#include "parabb/service/job.hpp"
+
+namespace parabb {
+
+/// Shared CLI/protocol spelling parsers (throw std::runtime_error on an
+/// unknown spelling; used by parabb_solve and the JSONL protocol alike).
+SelectRule parse_select_rule(const std::string& s);
+BranchRule parse_branch_rule(const std::string& s);
+LowerBound parse_lower_bound(const std::string& s);
+
+/// Builds a Machine from the protocol/CLI spelling: `topology` is
+/// "bus" | "ring" | "line" | "mesh<R>x<C>" (mesh overrides `procs`).
+Machine machine_from_spec(int procs, Time comm_per_item,
+                          const std::string& topology);
+
+/// Parses one JSONL request line into a self-contained JobRequest.
+/// Throws std::runtime_error on malformed JSON, a missing/invalid field,
+/// or an invalid task graph. The thrown message is client-facing.
+JobRequest request_from_json(const std::string& line);
+
+/// Serializes a terminal result (error results included) as one JSONL
+/// line, without the trailing newline. `graph` supplies task names for
+/// the schedule entries and must be the request's graph.
+std::string response_to_json(const JobResult& result, const TaskGraph& graph);
+
+/// The error-response line for requests that failed before admission
+/// (unparseable line: `id` may be empty, emitted as "?").
+std::string error_response_json(const std::string& id,
+                                const std::string& message);
+
+}  // namespace parabb

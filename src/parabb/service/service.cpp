@@ -1,0 +1,251 @@
+#include "parabb/service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parabb/bnb/parallel_engine.hpp"
+#include "parabb/sched/context.hpp"
+#include "parabb/service/fingerprint.hpp"
+#include "parabb/support/assert.hpp"
+#include "parabb/support/timer.hpp"
+
+namespace parabb {
+
+std::vector<std::pair<std::string, std::uint64_t>> ServiceCounters::rows()
+    const {
+  return {
+      {"jobs admitted", admitted},
+      {"jobs completed", completed},
+      {"  optimal", optimal},
+      {"  feasible_timeout", timed_out},
+      {"  cancelled", cancelled},
+      {"  infeasible", infeasible},
+      {"  errors", errors},
+      {"cache hits", cache_hits},
+      {"cache misses", cache_misses},
+      {"queue depth peak", queue_peak},
+  };
+}
+
+SolverService::SolverService(ServiceConfig config)
+    : cache_(config.cache_entries),
+      pool_(config.workers <= 0 ? 0
+                                : static_cast<std::size_t>(config.workers)) {}
+
+SolverService::~SolverService() {
+  // Drain-then-join: shutdown runs every queued pump to completion and
+  // joins the workers, so no pump can touch members after they die.
+  pool_.shutdown(ThreadPool::DrainPolicy::kDrain);
+}
+
+JobTicket SolverService::submit(
+    JobRequest request, std::function<void(const JobResult&)> on_done) {
+  auto record = std::make_shared<JobRecord>();
+  record->request = std::move(request);
+  record->on_done = std::move(on_done);
+
+  JobTicket ticket;
+  {
+    const std::lock_guard lock(mutex_);
+    ticket = next_ticket_++;
+    record->seq = ticket;
+    jobs_.emplace(ticket, record);
+    pending_.push_back(
+        PendingRef{record->request.priority, record->seq, ticket});
+    std::push_heap(pending_.begin(), pending_.end());
+    ++counters_.admitted;
+    ++in_flight_;
+    counters_.queue_peak = std::max(counters_.queue_peak, pending_.size());
+  }
+  // One pump per admitted job: the pool's thread count caps concurrency,
+  // the heap decides *which* pending job each pump runs.
+  pool_.submit([this] { pump(); });
+  return ticket;
+}
+
+void SolverService::pump() {
+  std::shared_ptr<JobRecord> record;
+  {
+    const std::lock_guard lock(mutex_);
+    while (!pending_.empty()) {
+      std::pop_heap(pending_.begin(), pending_.end());
+      const JobTicket ticket = pending_.back().ticket;
+      pending_.pop_back();
+      const auto it = jobs_.find(ticket);
+      PARABB_ASSERT(it != jobs_.end());
+      if (it->second->state != State::kPending) continue;  // cancelled
+      record = it->second;
+      record->state = State::kRunning;
+      break;
+    }
+  }
+  // All heap entries consumed by cancellation: this pump has nothing to do
+  // (the cancel path already finalized those jobs).
+  if (!record) return;
+  finalize(record, run_job(record));
+}
+
+JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
+  const JobRequest& req = record->request;
+  JobResult out;
+  out.id = req.id;
+
+  // Jobs carrying opaque hooks (F/D) cannot be fingerprinted, so they
+  // bypass the cache entirely rather than risk a stale-config hit.
+  const bool cacheable =
+      !req.params.characteristic && !req.params.dominance;
+  std::uint64_t fp = 0;
+  std::string key;
+  if (cacheable) {
+    key = request_key(req);
+    fp = fingerprint_bytes(key);
+    if (auto hit = cache_.lookup(fp, key)) {
+      hit->id = req.id;
+      hit->cached = true;
+      hit->seconds = 0.0;
+      return *std::move(hit);
+    }
+  }
+
+  try {
+    const SchedContext ctx(req.graph, req.machine);
+    Params params = req.params;
+    params.trace = nullptr;  // service-owned fields
+    apply_budget(params, req.budget, &record->token);
+
+    Stopwatch watch;
+    if (req.threads > 1) {
+      ParallelParams pp;
+      pp.base = params;
+      pp.threads = req.threads;
+      const ParallelResult r = solve_bnb_parallel(ctx, pp);
+      out.found = r.found_solution;
+      out.schedule = r.best;
+      out.cost = r.best_cost;
+      out.proved = r.proved;
+      out.reason = r.reason;
+      out.generated = r.stats.generated;
+    } else {
+      const SearchResult r = solve_bnb(ctx, params);
+      out.found = r.found_solution;
+      out.schedule = r.best;
+      out.cost = r.best_cost;
+      out.proved = r.proved;
+      out.certified_lower_bound = r.certified_lower_bound;
+      out.reason = r.reason;
+      out.generated = r.stats.generated;
+    }
+    out.seconds = watch.seconds();
+    out.outcome = outcome_of(out.reason, out.found);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+
+  // Cancelled searches are timing-dependent partial results; caching them
+  // would serve a worse incumbent than a fresh (budgeted) run could find.
+  if (cacheable && out.outcome != JobOutcome::kCancelled) {
+    cache_.insert(fp, std::move(key), out);
+  }
+  return out;
+}
+
+void SolverService::finalize(const std::shared_ptr<JobRecord>& record,
+                             JobResult result) {
+  {
+    const std::lock_guard lock(mutex_);
+    record->result = std::move(result);
+    record->state = State::kDone;
+    ++counters_.completed;
+    if (!record->result.error.empty()) {
+      ++counters_.errors;
+    } else {
+      switch (record->result.outcome) {
+        case JobOutcome::kOptimal: ++counters_.optimal; break;
+        case JobOutcome::kFeasibleTimeout: ++counters_.timed_out; break;
+        case JobOutcome::kCancelled: ++counters_.cancelled; break;
+        case JobOutcome::kInfeasible: ++counters_.infeasible; break;
+      }
+    }
+    if (record->result.cached) {
+      ++counters_.cache_hits;
+    } else if (record->result.error.empty() &&
+               record->result.outcome != JobOutcome::kCancelled &&
+               !record->request.params.characteristic &&
+               !record->request.params.dominance) {
+      ++counters_.cache_misses;
+    }
+  }
+  cv_done_.notify_all();  // wait(ticket) waiters: the result is terminal
+  // The callback runs before in_flight_ drops so wait_all() implies every
+  // on_done has returned — parabb_serve relies on that to emit all
+  // responses before its shutdown summary (and before its stream state
+  // is torn down). `result` is immutable once kDone, so the unlocked read
+  // is safe against concurrent wait().
+  if (record->on_done) record->on_done(record->result);
+  {
+    const std::lock_guard lock(mutex_);
+    PARABB_ASSERT(in_flight_ > 0);
+    --in_flight_;
+  }
+  cv_done_.notify_all();
+}
+
+JobResult SolverService::wait(JobTicket ticket) {
+  std::shared_ptr<JobRecord> record;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = jobs_.find(ticket);
+    PARABB_REQUIRE(it != jobs_.end(), "unknown job ticket");
+    record = it->second;
+  }
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return record->state == State::kDone; });
+  return record->result;
+}
+
+bool SolverService::cancel(JobTicket ticket) {
+  std::shared_ptr<JobRecord> to_finalize;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = jobs_.find(ticket);
+    if (it == jobs_.end()) return false;
+    const auto& record = it->second;
+    switch (record->state) {
+      case State::kDone:
+        return false;
+      case State::kRunning:
+        record->token.cancel();  // engine unwinds with its incumbent
+        return true;
+      case State::kPending: {
+        // Never ran: finalize here; the pump that would have claimed it
+        // skips the stale heap entry.
+        record->state = State::kRunning;  // claim under the lock
+        to_finalize = record;
+        break;
+      }
+    }
+  }
+  JobResult result;
+  result.id = to_finalize->request.id;
+  result.outcome = JobOutcome::kCancelled;
+  result.reason = TerminationReason::kCancelled;
+  finalize(to_finalize, std::move(result));
+  return true;
+}
+
+void SolverService::wait_all() {
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+int SolverService::worker_count() const noexcept {
+  return static_cast<int>(pool_.thread_count());
+}
+
+ServiceCounters SolverService::counters() const {
+  const std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+}  // namespace parabb

@@ -1,0 +1,147 @@
+// SolverService: the multi-tenant solver front of the B&B engines.
+//
+// Architecture (ISSUE 2 tentpole):
+//
+//   submit() ──► admission queue ──► support/ThreadPool workers ──► results
+//                (priority + FIFO)      (concurrency cap)
+//                                          │
+//                            ResultCache ◄─┴─► bnb engines
+//                         (canonical request   (per-job Budget +
+//                          fingerprint, LRU)    CancelToken, anytime)
+//
+// * Admission: every submitted job enters a priority queue (higher
+//   `priority` first, FIFO within a priority level). One pump task per
+//   admitted job is pushed onto a fixed ThreadPool whose thread count is
+//   the service's concurrency cap; each pump pops the *best* pending job,
+//   so priorities are honored at dispatch time regardless of submission
+//   order.
+// * Budgets: each job's Budget is mapped onto the engine's resource
+//   bounds plus a per-job CancelToken polled on the search hot loop; an
+//   expired or cancelled job returns its best incumbent, never aborts.
+// * Caching: results of cacheable jobs (no F/D hooks, not cancelled, no
+//   error) are stored in a bounded LRU keyed by the canonical request
+//   fingerprint; identical re-submissions are answered without searching.
+// * Completion: wait(ticket) blocks for one job; an optional on_done
+//   callback fires on the worker thread (used by parabb_serve to stream
+//   responses out of order). wait_all() drains everything in flight.
+//
+// Thread-safe: submit/cancel/wait/counters may be called from any thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "parabb/bnb/cancel.hpp"
+#include "parabb/service/cache.hpp"
+#include "parabb/service/job.hpp"
+#include "parabb/support/threadpool.hpp"
+
+namespace parabb {
+
+struct ServiceConfig {
+  /// Concurrent solve cap = worker threads; 0 = hardware concurrency.
+  int workers = 0;
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_entries = 256;
+};
+
+/// Service-level counters (monotone; queue_peak is a high-water mark).
+struct ServiceCounters {
+  std::uint64_t admitted = 0;    ///< jobs accepted by submit()
+  std::uint64_t completed = 0;   ///< jobs that reached a terminal outcome
+  std::uint64_t optimal = 0;     ///< ... with outcome optimal
+  std::uint64_t timed_out = 0;   ///< ... with outcome feasible_timeout
+  std::uint64_t cancelled = 0;   ///< ... with outcome cancelled
+  std::uint64_t infeasible = 0;  ///< ... with outcome infeasible
+  std::uint64_t errors = 0;      ///< ... that failed with an error
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t queue_peak = 0;    ///< pending-queue depth high-water mark
+
+  /// Stable (label, value) rows for the shutdown summary table.
+  std::vector<std::pair<std::string, std::uint64_t>> rows() const;
+};
+
+/// Handle returned by submit(); identifies a job to wait()/cancel().
+using JobTicket = std::uint64_t;
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig config = {});
+
+  /// Drains: blocks until every admitted job reached a terminal state.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Admits a job. `on_done` (optional) fires exactly once with the
+  /// terminal result, on a worker thread (or on the canceller's thread
+  /// for a job cancelled before it ran); it must not block for long and
+  /// must not call wait() on its own job. wait_all() does not return
+  /// until every admitted job's callback has returned.
+  JobTicket submit(JobRequest request,
+                   std::function<void(const JobResult&)> on_done = {});
+
+  /// Blocks until the job is terminal and returns its result.
+  /// Throws precondition_error for an unknown ticket.
+  JobResult wait(JobTicket ticket);
+
+  /// Requests cancellation. A still-pending job completes immediately
+  /// with outcome kCancelled (it never runs); a running job's token is
+  /// tripped and it unwinds with its best incumbent. Returns false when
+  /// the ticket is unknown or the job is already terminal.
+  bool cancel(JobTicket ticket);
+
+  /// Blocks until every job admitted so far is terminal.
+  void wait_all();
+
+  int worker_count() const noexcept;
+  ServiceCounters counters() const;
+  CacheCounters cache_counters() const { return cache_.counters(); }
+
+ private:
+  enum class State : std::uint8_t { kPending, kRunning, kDone };
+
+  struct JobRecord {
+    JobRequest request;
+    std::function<void(const JobResult&)> on_done;
+    CancelToken token;
+    State state = State::kPending;
+    JobResult result;
+    std::uint64_t seq = 0;  ///< admission order, FIFO tie-break
+  };
+
+  /// Max-heap orders pending jobs: higher priority first, then lower seq.
+  struct PendingRef {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    JobTicket ticket = 0;
+    bool operator<(const PendingRef& o) const noexcept {
+      if (priority != o.priority) return priority < o.priority;
+      return seq > o.seq;  // older (smaller seq) wins
+    }
+  };
+
+  void pump();  ///< one admitted job: pop best pending, run, finalize
+  JobResult run_job(const std::shared_ptr<JobRecord>& record);
+  void finalize(const std::shared_ptr<JobRecord>& record, JobResult result);
+
+  ResultCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_done_;
+  std::map<JobTicket, std::shared_ptr<JobRecord>> jobs_;
+  std::vector<PendingRef> pending_;  // std::push_heap/pop_heap
+  JobTicket next_ticket_ = 1;
+  std::uint64_t in_flight_ = 0;  ///< admitted, not yet terminal
+  ServiceCounters counters_;
+};
+
+}  // namespace parabb

@@ -1,0 +1,381 @@
+#include "parabb/support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace parabb {
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& msg) {
+  throw std::runtime_error("json: " + msg + " at offset " +
+                           std::to_string(pos));
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing garbage");
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(pos_ - 1, std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t i = 0;
+    while (lit[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != lit[i]) return false;
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue(string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail(pos_, "bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail(pos_, "bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail(pos_, "bad literal");
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.set(std::move(key), value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return out;
+      if (c != ',') fail(pos_ - 1, "expected ',' or '}'");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return out;
+      if (c != ',') fail(pos_ - 1, "expected ',' or ']'");
+    }
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail(pos_ - 1, "bad \\u escape");
+          }
+          // Surrogates (non-BMP escapes) collapse to U+FFFD; the protocol
+          // never needs them and a replacement beats an unsound decode.
+          if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) fail(start, "bad number");
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<std::int64_t>(v));
+      }
+      // fall through to double on int64 overflow
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      fail(start, "bad number");
+    }
+    return JsonValue(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_fail(const char* want) {
+  throw std::runtime_error(std::string("json: value is not ") + want);
+}
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+JsonValue::JsonValue(std::uint64_t v) {
+  if (v <= static_cast<std::uint64_t>(
+               std::numeric_limits<std::int64_t>::max())) {
+    kind_ = Kind::kInt;
+    int_ = static_cast<std::int64_t>(v);
+  } else {
+    kind_ = Kind::kDouble;
+    double_ = static_cast<double>(v);
+  }
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_fail("a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble && std::nearbyint(double_) == double_ &&
+      std::abs(double_) <= 9.2e18) {
+    return static_cast<std::int64_t>(double_);
+  }
+  kind_fail("an integer");
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ == Kind::kDouble) return double_;
+  kind_fail("a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_fail("a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_fail("an array");
+  return array_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) kind_fail("an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::kArray) kind_fail("an array");
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) kind_fail("an object");
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        out += "null";
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      // Prefer the shortest representation that round-trips.
+      for (int prec = 1; prec <= 16; ++prec) {
+        char probe[32];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, double_);
+        if (std::strtod(probe, nullptr) == double_) {
+          std::snprintf(buf, sizeof buf, "%.*g", prec, double_);
+          break;
+        }
+      }
+      out += buf;
+      break;
+    }
+    case Kind::kString: escape_to(string_, out); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        array_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        escape_to(object_[i].first, out);
+        out += ':';
+        object_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace parabb

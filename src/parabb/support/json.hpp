@@ -1,0 +1,100 @@
+// Minimal JSON value, parser, and writer for the solver-service JSONL
+// protocol (service/protocol.hpp) and other line-oriented tooling.
+//
+// Deliberately small and dependency-free: the full JSON grammar (RFC 8259)
+// minus only \uXXXX surrogate pairs outside the BMP (non-BMP escapes parse
+// to U+FFFD). Integers that fit int64 are kept exact (not routed through
+// double), because the protocol carries 64-bit vertex counts and byte
+// budgets. Object member order is preserved, so a value round-trips
+// byte-stably through parse() ∘ dump() — the serve smoke test relies on
+// deterministic field order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parabb {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< integral number, exact int64
+    kDouble,  ///< non-integral (or out-of-int64-range) number
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::uint64_t v);
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). Throws std::runtime_error with a byte
+  /// offset on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Checked accessors; throw std::runtime_error on a kind mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;  ///< kInt, or kDouble with integral value
+  double as_double() const;     ///< any number
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;   ///< array elements
+  const std::vector<Member>& members() const;    ///< object members, ordered
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Append to an array / object under construction.
+  JsonValue& push_back(JsonValue v);
+  JsonValue& set(std::string key, JsonValue v);
+
+  /// Serializes compactly (no whitespace). Doubles use shortest-round-trip
+  /// formatting; non-finite doubles serialize as null (JSON has no inf).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+}  // namespace parabb

@@ -16,13 +16,30 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(DrainPolicy::kDrain); }
+
+std::size_t ThreadPool::shutdown(DrainPolicy policy) {
+  std::size_t discarded = 0;
   {
     std::lock_guard lock(mutex_);
+    if (stop_) return 0;  // idempotent: a prior shutdown already joined
     stop_ = true;
+    if (policy == DrainPolicy::kDiscard) {
+      discarded = queue_.size();
+      queue_.clear();
+    }
   }
   cv_work_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  // Discarded jobs never run, so wait_idle callers must be released here.
+  cv_idle_.notify_all();
+  return discarded;
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> job) {

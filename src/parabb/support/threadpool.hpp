@@ -1,11 +1,18 @@
-// Fixed-size thread pool used to run independent experiment replications in
-// parallel. Deliberately simple: a mutex-guarded FIFO of std::function jobs
-// plus a wait-for-idle barrier; replication throughput is bounded by the B&B
-// searches themselves, not by queue contention.
+// Fixed-size thread pool used to run independent experiment replications
+// and solver-service jobs in parallel. Deliberately simple: a mutex-guarded
+// FIFO of std::function jobs plus a wait-for-idle barrier; throughput is
+// bounded by the B&B searches themselves, not by queue contention.
+//
+// Shutdown semantics are deterministic: shutdown(kDrain) — and the
+// destructor, which calls it — runs every job that was ever accepted by
+// submit() before the workers exit; shutdown(kDiscard) drops the jobs
+// still queued (reporting how many) but always finishes the jobs already
+// running. Work is never dropped silently.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -16,8 +23,16 @@ namespace parabb {
 
 class ThreadPool {
  public:
+  /// What shutdown() does with jobs still queued (not yet running).
+  enum class DrainPolicy : std::uint8_t {
+    kDrain,    ///< run every queued job to completion, then stop
+    kDiscard,  ///< drop queued jobs (counted); running jobs still finish
+  };
+
   /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Equivalent to shutdown(DrainPolicy::kDrain): every accepted job runs.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -26,6 +41,7 @@ class ThreadPool {
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
   /// Enqueue a job. Jobs must not throw; exceptions escaping a job abort.
+  /// Throws precondition_error after shutdown() has begun.
   void submit(std::function<void()> job);
 
   /// Block until every submitted job has finished.
@@ -34,10 +50,19 @@ class ThreadPool {
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Stops the pool and joins the workers. Returns the number of queued
+  /// jobs discarded (always 0 under kDrain). Idempotent: the second and
+  /// later calls return 0 without touching anything. After shutdown,
+  /// submit() throws and wait_idle() returns immediately.
+  std::size_t shutdown(DrainPolicy policy = DrainPolicy::kDrain);
+
+  /// True once shutdown() has begun (no further submissions accepted).
+  bool stopped() const;
+
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> queue_;

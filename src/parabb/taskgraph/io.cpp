@@ -112,6 +112,12 @@ TaskGraph from_tgf(const std::string& text) {
       if (!(ls >> from >> to)) parse_fail(lineno, "arc needs two endpoints");
       if (!by_name.contains(from)) parse_fail(lineno, "unknown task " + from);
       if (!by_name.contains(to)) parse_fail(lineno, "unknown task " + to);
+      // Reject the degenerate arcs here, where the offending line number
+      // is known, instead of letting add_arc()'s precondition or the
+      // final cycle check report them without location context.
+      if (from == to) parse_fail(lineno, "self-loop arc " + from);
+      if (g.items_on_arc(by_name.at(from), by_name.at(to)) != kTimeNegInf)
+        parse_fail(lineno, "duplicate arc " + from + " -> " + to);
       Time items = 0;
       std::string token;
       while (ls >> token) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "parabb/bnb/brute_force.hpp"
+#include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/hooks.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/sched/validator.hpp"
@@ -115,6 +116,52 @@ TEST(Engine, TimeLimitTerminatesGracefully) {
   EXPECT_EQ(r.reason, TerminationReason::kTimeLimit);
   EXPECT_FALSE(r.proved);
   EXPECT_TRUE(r.found_solution);  // EDF seed survives
+}
+
+TEST(Engine, GeneratedBudgetIsExactAndDeterministic) {
+  const TaskGraph g = test::paper_instance(7);
+  const SchedContext ctx = test::make_ctx(g, 4);
+  Params p = optimal_params();
+  p.rb.max_generated = 50;
+  const SearchResult a = solve_bnb(ctx, p);
+  EXPECT_EQ(a.reason, TerminationReason::kBudget);
+  EXPECT_FALSE(a.proved);
+  EXPECT_TRUE(a.found_solution);  // EDF seed survives
+  // The cap is checked before every expansion, so two runs stop at the
+  // same vertex — the service golden tests depend on this.
+  const SearchResult b = solve_bnb(ctx, p);
+  EXPECT_EQ(b.stats.generated, a.stats.generated);
+  EXPECT_EQ(b.best_cost, a.best_cost);
+}
+
+TEST(Engine, MemoryBudgetTerminatesGracefully) {
+  const TaskGraph g = test::paper_instance(9);
+  const SchedContext ctx = test::make_ctx(g, 4);
+  Params p = optimal_params();
+  p.rb.max_memory_bytes = 1;  // trips at the first poll
+  const SearchResult r = solve_bnb(ctx, p);
+  EXPECT_EQ(r.reason, TerminationReason::kBudget);
+  EXPECT_TRUE(r.found_solution);
+  EXPECT_FALSE(r.proved);
+}
+
+TEST(Engine, CancelTokenStopsTheSearch) {
+  const TaskGraph g = test::paper_instance(11);
+  const SchedContext ctx = test::make_ctx(g, 4);
+  Params p = optimal_params();
+  CancelToken token;
+  token.cancel();  // pre-tripped: the first poll window ends the search
+  p.cancel = &token;
+  const SearchResult r = solve_bnb(ctx, p);
+  if (r.reason == TerminationReason::kCancelled) {
+    EXPECT_FALSE(r.proved);
+    EXPECT_TRUE(r.found_solution);  // EDF seed
+  } else {
+    // The search finished inside the first 256-expansion poll window.
+    EXPECT_EQ(r.reason, TerminationReason::kExhausted);
+  }
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
 }
 
 TEST(Engine, MaxChildrenTruncatesAndUnproves) {

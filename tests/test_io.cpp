@@ -94,6 +94,28 @@ TEST(Tgf, RejectsBadInteger) {
   EXPECT_THROW(from_tgf("task a exec=xyz\n"), std::runtime_error);
 }
 
+TEST(Tgf, RejectsSelfLoopWithLineNumber) {
+  try {
+    from_tgf("task a exec=1\ntask b exec=1\narc a a\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("self-loop"), std::string::npos) << msg;
+  }
+}
+
+TEST(Tgf, RejectsDuplicateArcWithLineNumber) {
+  try {
+    from_tgf("task a exec=1\ntask b exec=1\narc a b\narc a b items=3\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate arc"), std::string::npos) << msg;
+  }
+}
+
 TEST(Tgf, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/parabb_io_test.tgf";
   const TaskGraph g = sample();

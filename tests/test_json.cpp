@@ -1,0 +1,138 @@
+#include "parabb/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace parabb {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, Int64Exact) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const JsonValue v = JsonValue::parse(std::to_string(big));
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(v.as_int(), big);
+  EXPECT_EQ(v.dump(), std::to_string(big));
+
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(JsonValue::parse(std::to_string(min)).as_int(), min);
+}
+
+TEST(Json, ObjectsPreserveMemberOrder) {
+  const JsonValue v = JsonValue::parse("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+  EXPECT_EQ(v.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(Json, FindLooksUpMembers) {
+  const JsonValue v = JsonValue::parse("{\"a\":1,\"b\":[true,null]}");
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->as_int(), 1);
+  ASSERT_NE(v.find("b"), nullptr);
+  EXPECT_EQ(v.find("b")->items().size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(JsonValue(42).find("a"), nullptr);  // non-object
+}
+
+TEST(Json, RoundTripIsByteStable) {
+  const std::string doc =
+      "{\"id\":\"r1\",\"n\":-3,\"x\":2.5,\"ok\":true,"
+      "\"xs\":[1,2,3],\"nested\":{\"a\":null}}";
+  EXPECT_EQ(JsonValue::parse(doc).dump(), doc);
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = JsonValue::parse("\"a\\n\\t\\\"\\\\b\\u0041\"");
+  EXPECT_EQ(v.as_string(), "a\n\t\"\\bA");
+  // Control characters and quotes are re-escaped on output.
+  EXPECT_EQ(JsonValue(std::string("x\n\"y\"")).dump(),
+            "\"x\\n\\\"y\\\"\"");
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+  EXPECT_EQ(JsonValue::parse("\"\\u2192\"").as_string(),
+            "\xe2\x86\x92");  // →
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);  // garbage
+  EXPECT_THROW(JsonValue::parse("{'a':1}"), std::runtime_error);
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  try {
+    JsonValue::parse("{\"a\": bogus}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, CheckedAccessorsThrowOnKindMismatch) {
+  const JsonValue v = JsonValue::parse("42");
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_bool(), std::runtime_error);
+  EXPECT_THROW(v.items(), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("2.5").as_int(), std::runtime_error);
+  EXPECT_EQ(JsonValue::parse("3.0").as_int(), 3);  // integral double: ok
+}
+
+TEST(Json, BuildersProduceCompactOutput) {
+  JsonValue obj = JsonValue::object();
+  obj.set("id", "x");
+  obj.set("count", std::uint64_t{7});
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back(false);
+  obj.set("xs", std::move(arr));
+  EXPECT_EQ(obj.dump(), "{\"id\":\"x\",\"count\":7,\"xs\":[1,false]}");
+}
+
+TEST(Json, DoublesRoundTripShortest) {
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+  EXPECT_EQ(JsonValue::parse(JsonValue(0.1).dump()).as_double(), 0.1);
+  // Non-finite doubles have no JSON spelling; they serialize as null.
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(Json, NestedDocumentsParse) {
+  const JsonValue v = JsonValue::parse(
+      "{\"budget\":{\"wall_ms\":100,\"max_generated\":5000},"
+      "\"schedule\":[{\"task\":\"a\",\"proc\":0}]}");
+  const JsonValue* budget = v.find("budget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_EQ(budget->find("max_generated")->as_int(), 5000);
+  const JsonValue* sched = v.find("schedule");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->items()[0].find("task")->as_string(), "a");
+}
+
+}  // namespace
+}  // namespace parabb

@@ -5,6 +5,9 @@
 // refactor breaks one of these, the benches' stories break with it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "parabb/bnb/engine.hpp"
 #include "parabb/bnb/hooks.hpp"
 #include "parabb/deadline/slicing.hpp"
@@ -41,29 +44,44 @@ struct Totals {
   int runs = 0;
 };
 
-Totals run_all(const Params& p, int m) {
-  Totals t;
+/// Runs every configuration on the same replication stream. A rep where
+/// ANY configuration hits TIMELIMIT is dropped from ALL totals, so the
+/// compared populations stay paired even when sanitizer instrumentation
+/// or machine load pushes a marginal rep over the wall clock in only one
+/// configuration.
+std::vector<Totals> run_paired(const std::vector<Params>& configs, int m) {
+  std::vector<Totals> totals(configs.size());
   for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const SchedContext ctx(bench_instance(rep), make_shared_bus_machine(m));
-    const SearchResult r = solve_bnb(ctx, p);
-    if (r.reason == TerminationReason::kTimeLimit) continue;
-    t.vertices += r.stats.generated;
-    t.lateness += r.best_cost;
-    t.peak_as = std::max(t.peak_as, r.stats.peak_active);
-    ++t.runs;
+    std::vector<SearchResult> results;
+    results.reserve(configs.size());
+    bool timed_out = false;
+    for (const Params& p : configs) {
+      results.push_back(solve_bnb(ctx, p));
+      timed_out = timed_out ||
+                  results.back().reason == TerminationReason::kTimeLimit;
+    }
+    if (timed_out) continue;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      totals[i].vertices += results[i].stats.generated;
+      totals[i].lateness += results[i].best_cost;
+      totals[i].peak_as =
+          std::max(totals[i].peak_as, results[i].stats.peak_active);
+      ++totals[i].runs;
+    }
   }
-  return t;
+  return totals;
 }
 
 TEST(PaperShapes, Fig3a_LlbSearchesMoreAndBalloonsMemory) {
   Params lifo = capped();
   Params llb = capped();
   llb.select = SelectRule::kLLB;
-  const Totals a = run_all(lifo, 3);
-  const Totals b = run_all(llb, 3);
+  const std::vector<Totals> t = run_paired({lifo, llb}, 3);
+  const Totals& a = t[0];
+  const Totals& b = t[1];
   ASSERT_GT(a.runs, kReps / 2);
   // Same optimal lateness on the shared instances.
-  EXPECT_EQ(a.runs, b.runs);
   EXPECT_EQ(a.lateness, b.lateness);
   // LLB searches at least as many vertices...
   EXPECT_GE(b.vertices, a.vertices);
@@ -87,20 +105,22 @@ TEST(PaperShapes, Fig3b_Lb0SearchesMoreThanLb1AtSmallM) {
   Params lb1 = capped();
   Params lb0 = capped();
   lb0.lb = LowerBound::kLB0;
-  const Totals a = run_all(lb1, 2);
-  const Totals b = run_all(lb0, 2);
+  const std::vector<Totals> t = run_paired({lb1, lb0}, 2);
+  const Totals& a = t[0];
+  const Totals& b = t[1];
   EXPECT_EQ(a.lateness, b.lateness);
   EXPECT_GT(b.vertices, a.vertices);  // strict aggregate gap at m=2
 }
 
 TEST(PaperShapes, Fig3c_ApproximationsSearchFarLess) {
-  const Totals bfn = run_all(capped(), 2);
   Params df = capped();
   df.branch = BranchRule::kDF;
   Params bf1 = capped();
   bf1.branch = BranchRule::kBF1;
-  const Totals d = run_all(df, 2);
-  const Totals b1 = run_all(bf1, 2);
+  const std::vector<Totals> t = run_paired({capped(), df, bf1}, 2);
+  const Totals& bfn = t[0];
+  const Totals& d = t[1];
+  const Totals& b1 = t[2];
   EXPECT_LT(d.vertices * 5, bfn.vertices);
   EXPECT_LT(b1.vertices * 5, bfn.vertices);
   // Their lateness is worse than optimal in aggregate...
@@ -109,10 +129,11 @@ TEST(PaperShapes, Fig3c_ApproximationsSearchFarLess) {
 }
 
 TEST(PaperShapes, Fig3c_BrTenPercentSavesVerticesAtNearOptimalCost) {
-  const Totals exact = run_all(capped(), 2);
   Params br = capped();
   br.br = 0.10;
-  const Totals relaxed = run_all(br, 2);
+  const std::vector<Totals> t = run_paired({capped(), br}, 2);
+  const Totals& exact = t[0];
+  const Totals& relaxed = t[1];
   EXPECT_LE(relaxed.vertices, exact.vertices);
   EXPECT_GE(relaxed.lateness, exact.lateness);
 }
@@ -154,9 +175,10 @@ TEST(PaperShapes, LlbTieBreakingIsTheWholeStory) {
   newest.llb_tie_newest = true;
   Params oldest = newest;
   oldest.llb_tie_newest = false;
-  const Totals a = run_all(lifo, 2);
-  const Totals n = run_all(newest, 2);
-  const Totals o = run_all(oldest, 2);
+  const std::vector<Totals> t = run_paired({lifo, newest, oldest}, 2);
+  const Totals& a = t[0];
+  const Totals& n = t[1];
+  const Totals& o = t[2];
   const auto near = [](std::uint64_t x, std::uint64_t y) {
     return x < y + y / 50 && y < x + x / 50;  // within 2%
   };
@@ -171,8 +193,9 @@ TEST(PaperShapes, SymmetryDominancePaysMoreAtLargerM) {
     const int m = 2 + mi;
     Params with = capped();
     with.dominance = make_processor_symmetry_dominance();
-    const Totals w = run_all(with, m);
-    const Totals wo = run_all(capped(), m);
+    const std::vector<Totals> t = run_paired({with, capped()}, m);
+    const Totals& w = t[0];
+    const Totals& wo = t[1];
     EXPECT_EQ(w.lateness, wo.lateness) << "m=" << m;
     with_m[mi] = w.vertices;
     without_m[mi] = wo.vertices;

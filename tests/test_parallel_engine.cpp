@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "parabb/bnb/brute_force.hpp"
+#include "parabb/bnb/cancel.hpp"
 #include "parabb/sched/validator.hpp"
 #include "test_util.hpp"
 
@@ -68,6 +69,36 @@ TEST(ParallelEngine, TimeLimitTerminates) {
   EXPECT_TRUE(r.found_solution);  // EDF seed
   // Either it finished instantly (tiny search) or the limit tripped.
   if (r.reason == TerminationReason::kTimeLimit) {
+    EXPECT_FALSE(r.proved);
+  }
+}
+
+TEST(ParallelEngine, GeneratedBudgetTerminates) {
+  const TaskGraph g = test::paper_instance(25);
+  const SchedContext ctx = test::make_ctx(g, 4);
+  ParallelParams pp;
+  pp.threads = 4;
+  pp.base.rb.max_generated = 100;  // summed across workers
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_TRUE(r.found_solution);  // EDF seed
+  if (r.reason == TerminationReason::kBudget) {
+    EXPECT_FALSE(r.proved);
+  } else {
+    EXPECT_EQ(r.reason, TerminationReason::kExhausted);
+  }
+}
+
+TEST(ParallelEngine, CancelTokenStopsAllWorkers) {
+  const TaskGraph g = test::paper_instance(27);
+  const SchedContext ctx = test::make_ctx(g, 4);
+  ParallelParams pp;
+  pp.threads = 4;
+  CancelToken token;
+  token.cancel();
+  pp.base.cancel = &token;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_TRUE(r.found_solution);
+  if (r.reason == TerminationReason::kCancelled) {
     EXPECT_FALSE(r.proved);
   }
 }

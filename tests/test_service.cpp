@@ -1,0 +1,473 @@
+#include "parabb/service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parabb/sched/schedule_io.hpp"
+#include "parabb/sched/validator.hpp"
+#include "parabb/service/fingerprint.hpp"
+#include "parabb/service/protocol.hpp"
+#include "parabb/support/assert.hpp"
+#include "parabb/taskgraph/io.hpp"
+#include "parabb/workload/generator.hpp"
+
+namespace parabb {
+namespace {
+
+TaskGraph demo_graph() {
+  return from_tgf(
+      "task urgent1 exec=10 deadline=12\n"
+      "task urgent2 exec=10 deadline=14\n"
+      "task root exec=5 deadline=30\n"
+      "task chainA exec=15 deadline=25\n"
+      "task chainB exec=15 deadline=40\n"
+      "arc root chainA\n"
+      "arc chainA chainB\n");
+}
+
+JobRequest demo_request(const std::string& id) {
+  JobRequest req;
+  req.id = id;
+  req.graph = demo_graph();
+  req.machine.procs = 2;
+  req.machine.comm = CommModel::per_item(1);
+  return req;
+}
+
+/// A search far too large to finish within any test: 26 tasks, weak
+/// bound, no transposition table — only a budget or a cancel ends it.
+JobRequest hard_request(const std::string& id) {
+  GeneratorConfig cfg = paper_config();
+  cfg.n_min = 26;
+  cfg.n_max = 26;
+  cfg.depth_min = 8;
+  cfg.depth_max = 10;
+  JobRequest req;
+  req.id = id;
+  req.graph = generate_graph(cfg, 7).graph;
+  req.machine.procs = 4;
+  req.machine.comm = CommModel::per_item(1);
+  req.params.lb = LowerBound::kLB0;
+  req.params.select = SelectRule::kFIFO;
+  return req;
+}
+
+/// 50 distinct requests, each submitted four times over 200 jobs.
+JobRequest stress_request(int i) {
+  JobRequest req;
+  req.id = "job-" + std::to_string(i);
+  req.graph =
+      generate_graph(paper_config(), static_cast<std::uint64_t>(i % 25))
+          .graph;
+  req.machine.procs = 2 + i % 2;
+  req.machine.comm = CommModel::per_item(1);
+  req.priority = i % 3;
+  req.budget.max_generated = 10000;  // deterministic effort cap
+  return req;
+}
+
+void run_stress(int workers) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.cache_entries = 64;
+  SolverService service(cfg);
+
+  constexpr int kJobs = 200;
+  std::atomic<int> callbacks{0};
+  std::vector<JobTicket> tickets;
+  tickets.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    tickets.push_back(service.submit(
+        stress_request(i), [&callbacks](const JobResult&) { ++callbacks; }));
+  }
+  service.wait_all();
+  EXPECT_EQ(callbacks.load(), kJobs);  // zero lost responses
+
+  // Every job is terminal, error-free, and validator-clean; identical
+  // requests (i ≡ j mod 50) agree byte-for-byte whether or not they were
+  // served from the cache — the sequential engine under a deterministic
+  // effort cap always lands on the same incumbent.
+  std::map<int, JobResult> canonical;
+  for (int i = 0; i < kJobs; ++i) {
+    const JobResult r = service.wait(tickets[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.id, "job-" + std::to_string(i));
+    EXPECT_TRUE(r.outcome == JobOutcome::kOptimal ||
+                r.outcome == JobOutcome::kFeasibleTimeout)
+        << to_string(r.outcome);
+    ASSERT_TRUE(r.found);
+    const JobRequest req = stress_request(i);
+    const ValidationReport rep =
+        validate_schedule(r.schedule, req.graph, req.machine);
+    EXPECT_TRUE(rep.structurally_sound) << rep.error;
+
+    const auto [it, fresh] = canonical.emplace(i % 50, r);
+    if (!fresh) {
+      const JobResult& first = it->second;
+      EXPECT_EQ(r.outcome, first.outcome);
+      EXPECT_EQ(r.cost, first.cost);
+      EXPECT_EQ(r.generated, first.generated);
+      EXPECT_EQ(schedule_to_text(r.schedule, req.graph),
+                schedule_to_text(first.schedule, req.graph));
+    }
+  }
+
+  const ServiceCounters sc = service.counters();
+  EXPECT_EQ(sc.admitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(sc.completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(sc.cancelled, 0u);
+  EXPECT_EQ(sc.errors, 0u);
+  EXPECT_EQ(sc.cache_hits + sc.cache_misses,
+            static_cast<std::uint64_t>(kJobs));
+}
+
+TEST(ServiceStress, SingleWorker) { run_stress(1); }
+TEST(ServiceStress, FourWorkers) { run_stress(4); }
+TEST(ServiceStress, EightWorkers) { run_stress(8); }
+
+TEST(Service, SolvesOptimally) {
+  SolverService service({.workers = 2});
+  const JobResult r = service.wait(service.submit(demo_request("r1")));
+  EXPECT_EQ(r.outcome, JobOutcome::kOptimal);
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.proved);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_FALSE(r.cached);
+}
+
+TEST(Service, ParallelEngineJobs) {
+  JobRequest req = demo_request("par");
+  req.threads = 2;
+  SolverService service({.workers = 1});
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_EQ(r.outcome, JobOutcome::kOptimal);
+  EXPECT_EQ(r.cost, 1);
+}
+
+TEST(Service, IdenticalResubmissionHitsCacheByteIdentically) {
+  SolverService service({.workers = 1});
+  const JobResult first = service.wait(service.submit(demo_request("a")));
+  const JobResult second = service.wait(service.submit(demo_request("b")));
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.id, "b");  // re-tagged, not the cached job's id
+  EXPECT_EQ(second.seconds, 0.0);
+  EXPECT_EQ(second.cost, first.cost);
+  EXPECT_EQ(second.generated, first.generated);
+  const TaskGraph g = demo_graph();
+  EXPECT_EQ(schedule_to_text(second.schedule, g),
+            schedule_to_text(first.schedule, g));
+  EXPECT_EQ(service.counters().cache_hits, 1u);
+}
+
+TEST(Service, DifferentBudgetIsADifferentCacheKey) {
+  SolverService service({.workers = 1});
+  (void)service.wait(service.submit(demo_request("a")));
+  JobRequest budgeted = demo_request("b");
+  budgeted.budget.max_generated = 5;
+  const JobResult r = service.wait(service.submit(std::move(budgeted)));
+  EXPECT_FALSE(r.cached);
+  EXPECT_EQ(r.outcome, JobOutcome::kFeasibleTimeout);
+}
+
+TEST(Service, GeneratedBudgetReturnsValidatorCleanIncumbent) {
+  JobRequest req = demo_request("b");
+  req.budget.max_generated = 5;
+  SolverService service({.workers = 1});
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_EQ(r.outcome, JobOutcome::kFeasibleTimeout);
+  EXPECT_EQ(r.reason, TerminationReason::kBudget);
+  ASSERT_TRUE(r.found);  // the EDF seed incumbent at minimum
+  EXPECT_FALSE(r.proved);
+  const ValidationReport rep =
+      validate_schedule(r.schedule, demo_graph(), demo_request("b").machine);
+  EXPECT_TRUE(rep.structurally_sound) << rep.error;
+}
+
+TEST(Service, MemoryBudgetTrips) {
+  JobRequest req = hard_request("m");
+  req.budget.max_active_bytes = 1;  // sequential engine: pool cap
+  SolverService service({.workers = 1});
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_EQ(r.outcome, JobOutcome::kFeasibleTimeout);
+  ASSERT_TRUE(r.found);
+}
+
+TEST(Service, WallClockBudgetTrips) {
+  JobRequest req = hard_request("w");
+  req.budget.wall_ms = 50;
+  SolverService service({.workers = 1});
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_EQ(r.outcome, JobOutcome::kFeasibleTimeout);
+  EXPECT_EQ(r.reason, TerminationReason::kTimeLimit);
+  ASSERT_TRUE(r.found);
+  const JobRequest ref = hard_request("w");
+  EXPECT_TRUE(validate_schedule(r.schedule, ref.graph, ref.machine)
+                  .structurally_sound);
+}
+
+TEST(Service, CancelRunningJobReturnsIncumbent) {
+  SolverService service({.workers = 1});
+  const JobTicket ticket = service.submit(hard_request("c"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(service.cancel(ticket));
+  const JobResult r = service.wait(ticket);
+  EXPECT_EQ(r.outcome, JobOutcome::kCancelled);
+  ASSERT_TRUE(r.found);
+  EXPECT_FALSE(r.proved);
+  const JobRequest ref = hard_request("c");
+  EXPECT_TRUE(validate_schedule(r.schedule, ref.graph, ref.machine)
+                  .structurally_sound);
+  // Cancelled results are timing-dependent; they must not be cached.
+  EXPECT_EQ(service.cache_counters().insertions, 0u);
+}
+
+TEST(Service, CancelPendingJobNeverRuns) {
+  SolverService service({.workers = 1});
+  const JobTicket blocker = service.submit(hard_request("blocker"));
+  const JobTicket victim = service.submit(demo_request("victim"));
+  EXPECT_TRUE(service.cancel(victim));
+  const JobResult r = service.wait(victim);
+  EXPECT_EQ(r.outcome, JobOutcome::kCancelled);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.generated, 0u);
+  EXPECT_TRUE(service.cancel(blocker));
+  service.wait_all();
+}
+
+TEST(Service, PriorityOrdersDispatchFifoWithinLevel) {
+  SolverService service({.workers = 1});
+  std::mutex mu;
+  std::vector<std::string> order;
+  const auto record = [&mu, &order](const JobResult& r) {
+    const std::lock_guard lock(mu);
+    order.push_back(r.id);
+  };
+  // The blocker occupies the only worker while a/b/c queue up behind it.
+  const JobTicket blocker = service.submit(hard_request("blocker"));
+  JobRequest a = demo_request("a");  // priority 0, submitted first
+  JobRequest b = demo_request("b");
+  b.priority = 5;
+  JobRequest c = demo_request("c");
+  c.priority = 5;
+  service.submit(std::move(a), record);
+  service.submit(std::move(b), record);
+  service.submit(std::move(c), record);
+  service.cancel(blocker);
+  service.wait_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "b");  // highest priority first
+  EXPECT_EQ(order[1], "c");  // FIFO within priority 5
+  EXPECT_EQ(order[2], "a");
+}
+
+TEST(Service, CancelSemantics) {
+  SolverService service({.workers = 1});
+  EXPECT_FALSE(service.cancel(JobTicket{999}));  // unknown
+  const JobTicket done = service.submit(demo_request("d"));
+  (void)service.wait(done);
+  EXPECT_FALSE(service.cancel(done));  // already terminal
+  EXPECT_THROW((void)service.wait(JobTicket{999}), precondition_error);
+}
+
+TEST(Service, InfeasibleRequestReportsInfeasible) {
+  JobRequest req = demo_request("inf");
+  req.params.ub = UpperBoundInit::kExplicit;
+  req.params.explicit_ub = -1000;  // no schedule beats this bound
+  SolverService service({.workers = 1});
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_EQ(r.outcome, JobOutcome::kInfeasible);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(service.counters().infeasible, 1u);
+}
+
+TEST(Service, DestructorDrainsOutstandingJobs) {
+  std::atomic<int> callbacks{0};
+  {
+    SolverService service({.workers = 2});
+    for (int i = 0; i < 20; ++i) {
+      service.submit(demo_request("d" + std::to_string(i)),
+                     [&callbacks](const JobResult&) { ++callbacks; });
+    }
+    // No wait_all: the destructor must finish every admitted job.
+  }
+  EXPECT_EQ(callbacks.load(), 20);
+}
+
+TEST(Fingerprint, CoversEverySolverRelevantField) {
+  const JobRequest base = demo_request("x");
+  // The id must NOT affect the fingerprint (responses are re-tagged).
+  EXPECT_EQ(request_fingerprint(base), request_fingerprint(demo_request("y")));
+
+  const auto differs = [&base](JobRequest changed) {
+    return request_fingerprint(changed) != request_fingerprint(base) &&
+           request_key(changed) != request_key(base);
+  };
+  JobRequest procs = base;
+  procs.machine.procs = 3;
+  EXPECT_TRUE(differs(procs));
+  JobRequest select = base;
+  select.params.select = SelectRule::kLLB;
+  EXPECT_TRUE(differs(select));
+  JobRequest br = base;
+  br.params.br = 0.1;
+  EXPECT_TRUE(differs(br));
+  JobRequest threads = base;
+  threads.threads = 4;
+  EXPECT_TRUE(differs(threads));
+  JobRequest budget = base;
+  budget.budget.max_generated = 100;
+  EXPECT_TRUE(differs(budget));
+  JobRequest graph = base;
+  graph.graph = generate_graph(paper_config(), 3).graph;
+  EXPECT_TRUE(differs(graph));
+  JobRequest topo = base;
+  topo.machine.procs = 4;
+  topo.machine.topology = NetworkTopology::ring(4);
+  JobRequest topo2 = topo;
+  topo2.machine.topology = NetworkTopology::line(4);
+  EXPECT_NE(request_key(topo), request_key(topo2));
+}
+
+TEST(ResultCache, LruEvictionAndRefresh) {
+  ResultCache cache(2);
+  JobResult r;
+  r.found = true;
+  r.cost = 1;
+  cache.insert(1, "k1", r);
+  cache.insert(2, "k2", r);
+  EXPECT_TRUE(cache.lookup(1, "k1").has_value());  // refreshes k1
+  cache.insert(3, "k3", r);                        // evicts k2 (LRU)
+  EXPECT_FALSE(cache.lookup(2, "k2").has_value());
+  EXPECT_TRUE(cache.lookup(1, "k1").has_value());
+  EXPECT_TRUE(cache.lookup(3, "k3").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(ResultCache, FingerprintCollisionIsAMissNeverAWrongAnswer) {
+  ResultCache cache(4);
+  JobResult r;
+  r.cost = 7;
+  cache.insert(42, "the real key", r);
+  const auto hit = cache.lookup(42, "an impostor key");
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_EQ(cache.counters().collisions, 1u);
+  EXPECT_EQ(cache.lookup(42, "the real key")->cost, 7);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  JobResult r;
+  cache.insert(1, "k", r);
+  EXPECT_FALSE(cache.lookup(1, "k").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Protocol, ParsesRequestWithDefaults) {
+  const JobRequest req = request_from_json(
+      "{\"id\":\"r1\",\"graph\":\"task a exec=3\\ntask b exec=2\\n"
+      "arc a b\\n\"}");
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.graph.task_count(), 2);
+  EXPECT_EQ(req.machine.procs, 2);
+  EXPECT_EQ(req.params.select, SelectRule::kLIFO);
+  EXPECT_EQ(req.threads, 1);
+  EXPECT_TRUE(req.budget.unlimited());
+}
+
+TEST(Protocol, ParsesFullRequest) {
+  const JobRequest req = request_from_json(
+      "{\"id\":\"r2\",\"graph\":\"task a exec=3\\n\",\"procs\":4,"
+      "\"comm\":2,\"topology\":\"ring\",\"select\":\"llb\","
+      "\"branch\":\"df\",\"lb\":\"lb2\",\"br\":0.25,\"ub\":\"inf\","
+      "\"tt\":true,\"threads\":3,\"priority\":9,"
+      "\"budget\":{\"wall_ms\":250,\"max_generated\":1000,"
+      "\"max_active_bytes\":65536}}");
+  EXPECT_EQ(req.machine.procs, 4);
+  EXPECT_EQ(req.params.select, SelectRule::kLLB);
+  EXPECT_EQ(req.params.branch, BranchRule::kDF);
+  EXPECT_EQ(req.params.lb, LowerBound::kLB2);
+  EXPECT_DOUBLE_EQ(req.params.br, 0.25);
+  EXPECT_EQ(req.params.ub, UpperBoundInit::kInfinite);
+  EXPECT_TRUE(req.params.transposition.enabled);
+  EXPECT_EQ(req.threads, 3);
+  EXPECT_EQ(req.priority, 9);
+  EXPECT_DOUBLE_EQ(req.budget.wall_ms, 250);
+  EXPECT_EQ(req.budget.max_generated, 1000u);
+  EXPECT_EQ(req.budget.max_active_bytes, 65536u);
+}
+
+TEST(Protocol, RejectsBadRequests) {
+  EXPECT_THROW(request_from_json("not json"), std::runtime_error);
+  EXPECT_THROW(request_from_json("{\"graph\":\"task a exec=1\\n\"}"),
+               std::runtime_error);  // missing id
+  EXPECT_THROW(request_from_json("{\"id\":\"x\"}"),
+               std::runtime_error);  // missing graph
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\",\"procs\":99}"),
+               std::runtime_error);  // procs out of range
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\",\"select\":\"best\"}"),
+               std::runtime_error);  // unknown spelling
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"bogus\\n\"}"),
+               std::runtime_error);  // TGF error surfaces
+}
+
+TEST(Protocol, ResponseFieldOrderIsFixed) {
+  JobResult r;
+  r.id = "r1";
+  r.outcome = JobOutcome::kInfeasible;
+  r.found = false;
+  r.generated = 12;
+  r.seconds = 0.0;
+  const std::string line = response_to_json(r, demo_graph());
+  EXPECT_EQ(line,
+            "{\"id\":\"r1\",\"outcome\":\"infeasible\",\"cached\":false,"
+            "\"generated\":12,\"seconds\":0}");
+}
+
+TEST(Protocol, ErrorResponses) {
+  EXPECT_EQ(error_response_json("r9", "boom"),
+            "{\"id\":\"r9\",\"error\":\"boom\"}");
+  EXPECT_EQ(error_response_json("", "bad line"),
+            "{\"id\":\"?\",\"error\":\"bad line\"}");
+  JobResult r;
+  r.id = "r3";
+  r.error = "engine exploded";
+  EXPECT_EQ(response_to_json(r, demo_graph()),
+            "{\"id\":\"r3\",\"error\":\"engine exploded\"}");
+}
+
+TEST(Protocol, MachineFromSpecTopologies) {
+  EXPECT_EQ(machine_from_spec(3, 1, "bus").procs, 3);
+  EXPECT_TRUE(machine_from_spec(4, 1, "ring").topology.has_value());
+  EXPECT_EQ(machine_from_spec(2, 1, "mesh2x2").procs, 4);
+  EXPECT_THROW(machine_from_spec(2, 1, "torus"), std::runtime_error);
+  EXPECT_THROW(machine_from_spec(2, 1, "meshAxB"), std::runtime_error);
+}
+
+TEST(Outcome, TaxonomyFolding) {
+  EXPECT_EQ(outcome_of(TerminationReason::kExhausted, true),
+            JobOutcome::kOptimal);
+  EXPECT_EQ(outcome_of(TerminationReason::kExhausted, false),
+            JobOutcome::kInfeasible);
+  EXPECT_EQ(outcome_of(TerminationReason::kTimeLimit, true),
+            JobOutcome::kFeasibleTimeout);
+  EXPECT_EQ(outcome_of(TerminationReason::kBudget, true),
+            JobOutcome::kFeasibleTimeout);
+  EXPECT_EQ(outcome_of(TerminationReason::kCancelled, true),
+            JobOutcome::kCancelled);
+  EXPECT_EQ(outcome_of(TerminationReason::kCancelled, false),
+            JobOutcome::kCancelled);
+}
+
+}  // namespace
+}  // namespace parabb

@@ -78,5 +78,65 @@ TEST(ThreadPool, ReusableAcrossBatches) {
   EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPool, ShutdownDrainRunsEveryAcceptedJob) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(pool.shutdown(ThreadPool::DrainPolicy::kDrain), 0u);
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, ShutdownDiscardDropsQueuedButFinishesRunning) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  // shutdown() joins, and the blocker only finishes once released — so
+  // the release must come from a second thread, after stop is observed.
+  std::size_t discarded = 0;
+  std::thread shut([&] {
+    discarded = pool.shutdown(ThreadPool::DrainPolicy::kDiscard);
+  });
+  while (!pool.stopped()) std::this_thread::yield();
+  release.store(true);
+  shut.join();
+  EXPECT_EQ(discarded, 20u);  // nothing queued ran...
+  EXPECT_EQ(ran.load(), 1);   // ...but the running job finished
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndBlocksSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  EXPECT_EQ(pool.shutdown(), 0u);
+  EXPECT_EQ(pool.shutdown(ThreadPool::DrainPolicy::kDiscard), 0u);
+  EXPECT_THROW(pool.submit([] {}), precondition_error);
+  pool.wait_idle();  // must not hang after shutdown
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrains) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 30; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 30);
+}
+
 }  // namespace
 }  // namespace parabb

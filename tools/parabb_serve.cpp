@@ -1,0 +1,131 @@
+// parabb_serve — JSONL solver service front end.
+//
+// Reads one JSON request per line from stdin (or a file given as the
+// positional argument), admits each onto a SolverService, and writes one
+// JSON response line per request to stdout. Responses are emitted as jobs
+// finish, so they may appear out of submission order; clients correlate
+// by the request `id`. Lines that fail to parse produce an error response
+// instead of killing the stream. On shutdown a service counters summary
+// is printed to stderr (suppress with --quiet).
+//
+//   $ parabb_serve < requests.jsonl > responses.jsonl
+//   $ parabb_serve --workers 4 --cache 512 requests.jsonl
+//
+// Protocol schema: docs/formats.md, "Solver service protocol".
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "parabb/service/protocol.hpp"
+#include "parabb/service/service.hpp"
+#include "parabb/support/cli.hpp"
+#include "parabb/support/json.hpp"
+#include "parabb/support/table.hpp"
+
+namespace {
+
+using namespace parabb;
+
+/// Best-effort id recovery from a line whose request failed validation:
+/// the error response should still correlate when the JSON itself was
+/// well-formed and carried an id.
+std::string salvage_id(const std::string& line) {
+  try {
+    const JsonValue doc = JsonValue::parse(line);
+    if (const JsonValue* id = doc.find("id"); id && id->is_string()) {
+      return id->as_string();
+    }
+  } catch (const std::exception&) {
+  }
+  return "";
+}
+
+void print_summary(const SolverService& service, std::uint64_t rejected) {
+  TextTable table;
+  table.set_header({"counter", "value"});
+  for (const auto& [label, value] : service.counters().rows()) {
+    table.add_row({label, std::to_string(value)});
+  }
+  const CacheCounters cc = service.cache_counters();
+  table.add_row({"cache insertions", std::to_string(cc.insertions)});
+  table.add_row({"cache evictions", std::to_string(cc.evictions)});
+  table.add_row({"cache collisions", std::to_string(cc.collisions)});
+  table.add_row({"rejected requests", std::to_string(rejected)});
+  std::fprintf(stderr, "%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("parabb_serve",
+                   "JSONL multi-tenant solver service (one request per "
+                   "line on stdin, one response per line on stdout)");
+  parser.add_option("workers", "concurrent solve cap (0 = hardware)", "0");
+  parser.add_option("cache", "result-cache entries (0 = disabled)", "256");
+  parser.add_flag("quiet", "suppress the shutdown counters summary");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+    if (parser.positional().size() > 1) {
+      std::fprintf(stderr, "usage: parabb_serve [requests.jsonl]\n");
+      return 2;
+    }
+
+    std::ifstream file;
+    if (!parser.positional().empty()) {
+      file.open(parser.positional()[0]);
+      if (!file) {
+        std::fprintf(stderr, "parabb_serve: cannot open %s\n",
+                     parser.positional()[0].c_str());
+        return 2;
+      }
+    }
+    std::istream& in = file.is_open() ? file : std::cin;
+
+    ServiceConfig config;
+    config.workers = static_cast<int>(parser.get_int("workers"));
+    config.cache_entries =
+        static_cast<std::size_t>(parser.get_int("cache"));
+    SolverService service(config);
+
+    std::mutex out_mutex;
+    const auto emit = [&out_mutex](const std::string& json_line) {
+      std::lock_guard lock(out_mutex);
+      std::fputs(json_line.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    };
+
+    std::uint64_t rejected = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      JobRequest request;
+      try {
+        request = request_from_json(line);
+      } catch (const std::exception& e) {
+        ++rejected;
+        emit(error_response_json(salvage_id(line), e.what()));
+        continue;
+      }
+      // The request is moved into the service; the responder needs the
+      // graph for task names, so it keeps its own copy.
+      auto graph = std::make_shared<const TaskGraph>(request.graph);
+      service.submit(std::move(request),
+                     [&emit, graph](const JobResult& result) {
+                       emit(response_to_json(result, *graph));
+                     });
+    }
+
+    service.wait_all();
+    if (!parser.has_flag("quiet")) print_summary(service, rejected);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parabb_serve: %s\n", e.what());
+    return 2;
+  }
+}

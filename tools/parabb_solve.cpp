@@ -4,12 +4,19 @@
 // assigns deadlines by slicing, runs the configured algorithm, and prints
 // the schedule (with optional Gantt chart and DOT export).
 //
+// A budget-limited or Ctrl-C'd B&B run is *anytime*: it reports the best
+// incumbent found so far with outcome `feasible_timeout` / `cancelled`
+// instead of dying empty-handed.
+//
 //   $ parabb_solve graph.tgf --procs 3 --select lifo --branch bfn
 //   $ parabb_solve graph.tgf --algo edf --gantt
 //   $ parabb_solve graph.tgf --slice 1.5 --br 0.1 --time-limit 10
+//   $ parabb_solve graph.tgf --max-generated 100000
+#include <csignal>
 #include <cstdio>
 #include <string>
 
+#include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/engine.hpp"
 #include "parabb/bnb/parallel_engine.hpp"
 #include "parabb/deadline/slicing.hpp"
@@ -19,6 +26,8 @@
 #include "parabb/sched/list.hpp"
 #include "parabb/sched/schedule_io.hpp"
 #include "parabb/sched/validator.hpp"
+#include "parabb/service/job.hpp"
+#include "parabb/service/protocol.hpp"
 #include "parabb/support/cli.hpp"
 #include "parabb/support/table.hpp"
 #include "parabb/taskgraph/io.hpp"
@@ -27,26 +36,12 @@ namespace {
 
 using namespace parabb;
 
-SelectRule parse_select(const std::string& s) {
-  if (s == "lifo") return SelectRule::kLIFO;
-  if (s == "llb") return SelectRule::kLLB;
-  if (s == "fifo") return SelectRule::kFIFO;
-  throw std::runtime_error("--select must be lifo, llb or fifo");
-}
+// SIGINT trips the cooperative cancellation token; the engine unwinds at
+// its next poll and the run finishes normally with its best incumbent.
+// CancelToken::cancel() is a relaxed atomic store: async-signal-safe.
+CancelToken g_interrupt;
 
-BranchRule parse_branch(const std::string& s) {
-  if (s == "bfn") return BranchRule::kBFn;
-  if (s == "bf1") return BranchRule::kBF1;
-  if (s == "df") return BranchRule::kDF;
-  throw std::runtime_error("--branch must be bfn, bf1 or df");
-}
-
-LowerBound parse_lb(const std::string& s) {
-  if (s == "lb0") return LowerBound::kLB0;
-  if (s == "lb1") return LowerBound::kLB1;
-  if (s == "lb2") return LowerBound::kLB2;
-  throw std::runtime_error("--lb must be lb0, lb1 or lb2");
-}
+extern "C" void handle_sigint(int) { g_interrupt.cancel(); }
 
 void print_schedule(const Schedule& schedule, const TaskGraph& graph) {
   TextTable table;
@@ -84,6 +79,10 @@ int main(int argc, char** argv) {
   parser.add_option("br", "inaccuracy limit BR (0 = exact)", "0");
   parser.add_option("time-limit", "TIMELIMIT seconds (0 = unlimited)", "0");
   parser.add_option("max-active", "MAXSZAS (0 = unlimited)", "0");
+  parser.add_option("max-generated",
+                    "budget: generated-vertex cap (0 = unlimited)", "0");
+  parser.add_option("max-memory",
+                    "budget: active-set pool bytes (0 = unlimited)", "0");
   parser.add_option("threads", "workers for bnb-parallel (0 = hw)", "0");
   parser.add_option("slice",
                     "assign deadlines by slicing with this laxity ratio "
@@ -119,27 +118,10 @@ int main(int argc, char** argv) {
       write_text_file(dot, to_dot(graph));
     }
 
-    Machine machine;
-    machine.procs = static_cast<int>(parser.get_int("procs"));
-    machine.comm = CommModel::per_item(parser.get_int("comm"));
-    if (const std::string topo = parser.get_string("topology");
-        topo != "bus") {
-      if (topo == "ring") {
-        machine.topology = NetworkTopology::ring(machine.procs);
-      } else if (topo == "line") {
-        machine.topology = NetworkTopology::line(machine.procs);
-      } else if (topo.rfind("mesh", 0) == 0) {
-        const auto x = topo.find('x');
-        if (x == std::string::npos)
-          throw std::runtime_error("mesh topology needs RxC, e.g. mesh2x2");
-        const int rows = std::stoi(topo.substr(4, x - 4));
-        const int cols = std::stoi(topo.substr(x + 1));
-        machine.topology = NetworkTopology::mesh(rows, cols);
-        machine.procs = rows * cols;
-      } else {
-        throw std::runtime_error("unknown --topology: " + topo);
-      }
-    }
+    const Machine machine =
+        machine_from_spec(static_cast<int>(parser.get_int("procs")),
+                          parser.get_int("comm"),
+                          parser.get_string("topology"));
     const SchedContext ctx(graph, machine);
 
     Schedule schedule;
@@ -170,38 +152,59 @@ int main(int argc, char** argv) {
                " moves)";
     } else if (algo == "bnb" || algo == "bnb-parallel") {
       Params params;
-      params.select = parse_select(parser.get_string("select"));
-      params.branch = parse_branch(parser.get_string("branch"));
-      params.lb = parse_lb(parser.get_string("lb"));
+      params.select = parse_select_rule(parser.get_string("select"));
+      params.branch = parse_branch_rule(parser.get_string("branch"));
+      params.lb = parse_lower_bound(parser.get_string("lb"));
       params.br = parser.get_double("br");
-      if (const double tl = parser.get_double("time-limit"); tl > 0)
-        params.rb.time_limit_s = tl;
       if (const auto ma = parser.get_int("max-active"); ma > 0)
         params.rb.max_active = static_cast<std::size_t>(ma);
+
+      // The budget rides the same path the solver service uses: resource
+      // bounds plus a cancellation token, so an expired or interrupted
+      // run still reports its best incumbent.
+      Budget budget;
+      budget.wall_ms = parser.get_double("time-limit") * 1000.0;
+      budget.max_generated =
+          static_cast<std::uint64_t>(parser.get_int("max-generated"));
+      budget.max_active_bytes =
+          static_cast<std::size_t>(parser.get_int("max-memory"));
+      apply_budget(params, budget, &g_interrupt);
+      std::signal(SIGINT, handle_sigint);
+
+      bool found = false;
+      bool proved = false;
+      TerminationReason reason = TerminationReason::kExhausted;
+      std::string engine_info;
       if (algo == "bnb") {
         const SearchResult r = solve_bnb(ctx, params);
-        if (!r.found_solution) {
-          std::fprintf(stderr, "no solution found\n");
-          return 1;
-        }
+        found = r.found_solution;
+        proved = r.proved;
+        reason = r.reason;
         schedule = r.best;
         cost = r.best_cost;
-        status = describe(params) + (r.proved ? " [proved]" : " [heuristic]") +
-                 ", " + std::to_string(r.stats.generated) + " vertices";
+        engine_info = std::to_string(r.stats.generated) + " vertices";
       } else {
         ParallelParams pp;
         pp.base = params;
         pp.threads = static_cast<int>(parser.get_int("threads"));
         const ParallelResult r = solve_bnb_parallel(ctx, pp);
-        if (!r.found_solution) {
-          std::fprintf(stderr, "no solution found\n");
-          return 1;
-        }
+        found = r.found_solution;
+        proved = r.proved;
+        reason = r.reason;
         schedule = r.best;
         cost = r.best_cost;
-        status = describe(params) + (r.proved ? " [proved]" : " [heuristic]") +
-                 ", " + std::to_string(r.threads_used) + " threads";
+        engine_info = std::to_string(r.threads_used) + " threads";
       }
+      std::signal(SIGINT, SIG_DFL);
+
+      const JobOutcome outcome = outcome_of(reason, found);
+      if (!found) {
+        std::fprintf(stderr, "no solution found (outcome: %s)\n",
+                     to_string(outcome).c_str());
+        return 1;
+      }
+      status = describe(params) + (proved ? " [proved]" : " [heuristic]") +
+               ", " + engine_info + ", outcome: " + to_string(outcome);
     } else {
       std::fprintf(stderr, "unknown --algo: %s\n", algo.c_str());
       return 2;

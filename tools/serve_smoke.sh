@@ -1,0 +1,23 @@
+#!/bin/sh
+# Golden smoke test for parabb_serve: pipes the 50-request JSONL batch
+# through the service (single worker, so cache-hit flags and response
+# sets are deterministic) and diffs against the checked-in golden file.
+#
+# Normalization: the "seconds" field is wall-clock and is zeroed before
+# the diff; both sides are sorted because responses may legitimately
+# interleave with error lines emitted by the reader thread.
+#
+# Usage: serve_smoke.sh <parabb_serve-binary> <dir-with-requests+golden>
+set -eu
+bin=$1
+src=$2
+tmp="${TMPDIR:-/tmp}/serve_smoke.$$"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp"
+
+"$bin" --workers 1 --quiet "$src/serve_smoke_requests.jsonl" \
+  | sed -E 's/"seconds":[0-9eE.+-]+/"seconds":0/' \
+  | LC_ALL=C sort > "$tmp/got"
+LC_ALL=C sort "$src/serve_smoke_golden.jsonl" > "$tmp/want"
+diff -u "$tmp/want" "$tmp/got"
+echo "serve smoke: $(wc -l < "$tmp/got") responses match golden"
