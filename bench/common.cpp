@@ -3,8 +3,29 @@
 #include <cstdio>
 
 #include "parabb/experiments/plot.hpp"
+#include "parabb/support/json.hpp"
+#include "parabb/support/table.hpp"
 
 namespace parabb::bench {
+namespace {
+
+JsonValue table_to_json(const TextTable& table) {
+  JsonValue out = JsonValue::object();
+  JsonValue header = JsonValue::array();
+  for (const std::string& cell : table.header()) header.push_back(cell);
+  out.set("header", std::move(header));
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : table.rows()) {
+    if (row.empty()) continue;  // horizontal rule, not data
+    JsonValue r = JsonValue::array();
+    for (const std::string& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+  }
+  out.set("rows", std::move(rows));
+  return out;
+}
+
+}  // namespace
 
 void add_common_options(ArgParser& parser,
                         const std::string& default_laxity_base) {
@@ -25,6 +46,11 @@ void add_common_options(ArgParser& parser,
   parser.add_option("ccr", "communication-to-computation ratio", "1.0");
   parser.add_option("threads", "instance-level worker threads (0=hw)", "0");
   parser.add_option("csv", "write the report table as CSV to this path", "");
+  parser.add_option("json",
+                    "write a machine-readable BENCH_*.json report (schema "
+                    "parabb-bench-v1: workload, replication, every table as "
+                    "{header, rows}) to this path",
+                    "");
   parser.add_flag("quick", "reduced replication for smoke runs");
 }
 
@@ -58,6 +84,7 @@ std::optional<BenchSetup> parse_common(ArgParser& parser, int argc,
   setup.max_active =
       static_cast<std::size_t>(parser.get_int("max-active"));
   setup.csv = parser.get_string("csv");
+  setup.json = parser.get_string("json");
   setup.quick = parser.has_flag("quick");
   if (setup.quick) {
     cfg.min_reps = 4;
@@ -108,16 +135,49 @@ void run_and_report(const std::string& bench_id,
   std::fflush(stdout);
 
   const ExperimentResult result = run_experiment(setup.cfg);
-  emit(bench_id + " — results", make_report_table(setup.cfg, result),
-       setup.csv);
+  const TextTable report = make_report_table(setup.cfg, result);
+  emit(bench_id + " — results", report, setup.csv);
   if (setup.cfg.machine_sizes.size() > 1) {
     std::printf("\n%s",
                 render_paper_figure(setup.cfg, result, bench_id).c_str());
   }
+  TextTable ratios;
   if (setup.cfg.variants.size() > 1) {
+    ratios = make_ratio_table(setup.cfg, result, ratio_reference);
     emit(bench_id + " — ratios vs " +
              setup.cfg.variants[ratio_reference].label,
-         make_ratio_table(setup.cfg, result, ratio_reference));
+         ratios);
+  }
+  if (!setup.json.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", "parabb-bench-v1");
+    doc.set("bench", bench_id);
+    JsonValue workload = JsonValue::object();
+    workload.set("n_min", setup.cfg.workload.n_min);
+    workload.set("n_max", setup.cfg.workload.n_max);
+    workload.set("depth_min", setup.cfg.workload.depth_min);
+    workload.set("depth_max", setup.cfg.workload.depth_max);
+    workload.set("ccr", setup.cfg.workload.ccr);
+    workload.set("laxity", setup.cfg.slicing.laxity);
+    doc.set("workload", std::move(workload));
+    JsonValue machines = JsonValue::array();
+    for (const int m : setup.cfg.machine_sizes) machines.push_back(m);
+    doc.set("machines", std::move(machines));
+    JsonValue replication = JsonValue::object();
+    replication.set("min_reps", setup.cfg.min_reps);
+    replication.set("max_reps", setup.cfg.max_reps);
+    replication.set("reps_used", result.reps_used);
+    replication.set("converged", result.converged);
+    replication.set("time_limit_s", setup.time_limit_s);
+    doc.set("replication", std::move(replication));
+    JsonValue tables = JsonValue::object();
+    tables.set("results", table_to_json(report));
+    if (setup.cfg.variants.size() > 1) {
+      tables.set("ratios", table_to_json(ratios));
+    }
+    doc.set("tables", std::move(tables));
+    write_text_file(setup.json, doc.dump() + "\n");
+    std::printf("json report written to %s\n", setup.json.c_str());
   }
   std::printf("replications used: %d (%s); excluded runs are counted per "
               "row above\n\n",

@@ -17,6 +17,7 @@ namespace parabb::bench {
 struct BenchSetup {
   ExperimentConfig cfg;   ///< base config (variants added by the bench)
   std::string csv;        ///< CSV output path ("" = none)
+  std::string json;       ///< machine-readable BENCH_*.json path ("" = none)
   double time_limit_s = 1.0;     ///< per-run RB.TIMELIMIT
   std::size_t max_active = 250'000;  ///< per-run RB.MAXSZAS
   bool quick = false;

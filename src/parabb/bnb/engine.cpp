@@ -29,11 +29,13 @@ Time prune_threshold(Time incumbent, double br) {
 
 namespace {
 
-/// A child staged for insertion: generated, bounded, not yet pooled.
+/// A child that survived the filters: bounded, already living in its pool
+/// slot. The slot is allocated the moment the child survives (one copy,
+/// straight from the scratch state); pruned children are never copied.
 struct StagedChild {
-  PartialSchedule state;
   Time lb = 0;
   int order = 0;  ///< generation index, for deterministic tie-breaking
+  SlotRef ref;
 };
 
 /// Tasks the branching rule B expands from `ready` (§3.3).
@@ -107,23 +109,19 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   ActiveSet as(params.select, release, params.llb_tie_newest);
 
   std::uint32_t next_seq = 0;
-  auto push_vertex = [&](const PartialSchedule& state, Time lb) {
+
+  // Root vertex: the empty schedule (does not count as an activated child).
+  {
     const SlotRef ref = pool.allocate();
     auto* v = static_cast<Vertex*>(pool.get(ref));
-    v->state = state;
-    v->lb = lb;
+    v->state = PartialSchedule::empty(ctx);
+    v->lb = lower_bound_cost(ctx, v->state, params.lb);
     v->seq = next_seq;
-    as.push(VertexEntry{lb, next_seq, ref});
+    as.push(VertexEntry{v->lb, next_seq, ref});
     ++next_seq;
-    ++stats.activated;
-  };
-
-  // Root vertex: the empty schedule.
-  {
-    const PartialSchedule root = PartialSchedule::empty(ctx);
-    push_vertex(root, lower_bound_cost(ctx, root, params.lb));
-    stats.activated = 0;  // the root does not count as an activated child
   }
+
+  IncrementalLB inc(ctx);
 
   bool compromised = false;  // an RB storage bound forced vertex disposal
   // Least bound of any vertex lost to a storage bound; with the monotone
@@ -191,9 +189,26 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
       params.trace->record(TraceEvent::kExpand, parent.count(), entry.lb);
     }
 
-    // Step 6-7: branch (rule B) and bound (function L).
+    // Step 6-7: branch (rule B) and bound (function L). Children are
+    // evaluated zero-copy: one scratch state per expansion, each candidate
+    // via place → bound → unplace; only survivors are copied, straight into
+    // their pool slot.
     staged.clear();
     const auto tasks = branch_tasks(ctx, params.branch, parent.ready());
+    const int child_count = parent.count() + 1;
+    // When every child is a goal its bound is its exact cost and may beat
+    // the incumbent even at or above the BR-relaxed threshold, so the
+    // short-circuit must not fire. Likewise keep bounds exact while a
+    // trace listens (it records lb values of pruned children) and under
+    // E = none (pruned-vs-kept is not decided by the threshold alone).
+    const bool goal_children = child_count == ctx.task_count();
+    const Time cutoff =
+        (params.incremental_lb && params.elim == ElimRule::kUDBAS &&
+         !goal_children && params.trace == nullptr)
+            ? threshold
+            : kTimeInf;
+    PartialSchedule cur = parent;
+    inc.attach(cur);
     Time best_goal = kTimeInf;
     PartialSchedule best_goal_state;
     bool have_goal = false;
@@ -207,52 +222,49 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         }
         ++children;
         ++stats.generated;
-        StagedChild child;
-        child.state = parent;
-        child.state.place(ctx, t, p);
-        child.lb = lower_bound_cost(ctx, child.state, params.lb);
-        child.order = children;
+        inc.place(cur, t, p);
+        const Time lb = params.incremental_lb
+                            ? inc.evaluate(cur, params.lb, cutoff)
+                            : lower_bound_cost(ctx, cur, params.lb);
 
-        if (child.state.complete(ctx)) {
+        bool keep = false;
+        if (goal_children) {
           // Goal vertex: candidate new upper-bound solution (Figure 2).
           ++stats.goals;
           if (params.trace) {
-            params.trace->record(TraceEvent::kGoal, child.state.count(),
-                                 child.lb);
+            params.trace->record(TraceEvent::kGoal, child_count, lb);
           }
-          if (child.lb < best_goal) {
-            best_goal = child.lb;
-            best_goal_state = child.state;
+          if (lb < best_goal) {
+            best_goal = lb;
+            best_goal_state = cur;
             have_goal = true;
           }
-          continue;
-        }
-        if (params.characteristic &&
-            !params.characteristic(ctx, child.state)) {
+        } else if (params.characteristic &&
+                   !params.characteristic(ctx, cur)) {
           ++stats.pruned_children;  // F: cannot extend to a valid solution
           if (params.trace) {
-            params.trace->record(TraceEvent::kPruneChild,
-                                 child.state.count(), child.lb);
+            params.trace->record(TraceEvent::kPruneChild, child_count, lb);
           }
-          continue;
-        }
-        if (params.elim == ElimRule::kUDBAS && child.lb >= threshold) {
+        } else if (params.elim == ElimRule::kUDBAS && lb >= threshold) {
           ++stats.pruned_children;  // E applied to DB
           if (params.trace) {
-            params.trace->record(TraceEvent::kPruneChild,
-                                 child.state.count(), child.lb);
+            params.trace->record(TraceEvent::kPruneChild, child_count, lb);
           }
-          continue;
-        }
-        if (tt && tt->seen_or_insert(child.state, child.lb)) {
+        } else if (tt && tt->seen_or_insert(cur, lb)) {
           ++stats.pruned_children;  // duplicate of an already-seen state
           if (params.trace) {
-            params.trace->record(TraceEvent::kTransposition,
-                                 child.state.count(), child.lb);
+            params.trace->record(TraceEvent::kTransposition, child_count,
+                                 lb);
           }
-          continue;
+        } else {
+          keep = true;
         }
-        staged.push_back(child);
+        if (keep) {
+          const SlotRef ref = pool.allocate();
+          static_cast<Vertex*>(pool.get(ref))->state = cur;
+          staged.push_back(StagedChild{lb, children, ref});
+        }
+        inc.unplace(cur, t);
       }
       if (children >= params.rb.max_children) break;
     }
@@ -274,12 +286,16 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
 
     // D: optional pairwise dominance filter among siblings.
     if (params.dominance && staged.size() > 1) {
+      const auto state_of = [&](const StagedChild& c) -> const PartialSchedule& {
+        return static_cast<const Vertex*>(pool.get(c.ref))->state;
+      };
       std::vector<char> dead(staged.size(), 0);
       for (std::size_t i = 0; i < staged.size(); ++i) {
         if (dead[i]) continue;
         for (std::size_t j = 0; j < staged.size(); ++j) {
           if (i == j || dead[j]) continue;
-          if (params.dominance(ctx, staged[i].state, staged[j].state))
+          if (params.dominance(ctx, state_of(staged[i]),
+                               state_of(staged[j])))
             dead[j] = 1;
         }
       }
@@ -290,9 +306,10 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         } else {
           ++stats.pruned_children;
           if (params.trace) {
-            params.trace->record(TraceEvent::kPruneChild,
-                                 staged[i].state.count(), staged[i].lb);
+            params.trace->record(TraceEvent::kPruneChild, child_count,
+                                 staged[i].lb);
           }
+          pool.release(staged[i].ref);
         }
       }
       staged.resize(w);
@@ -313,9 +330,9 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         if (c.lb < fresh) return false;
         ++stats.pruned_children;
         if (params.trace) {
-          params.trace->record(TraceEvent::kPruneChild, c.state.count(),
-                               c.lb);
+          params.trace->record(TraceEvent::kPruneChild, child_count, c.lb);
         }
+        pool.release(c.ref);
         return true;
       });
     }
@@ -330,9 +347,14 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
                 });
     }
     for (const StagedChild& c : staged) {
-      push_vertex(c.state, c.lb);
+      auto* v = static_cast<Vertex*>(pool.get(c.ref));
+      v->lb = c.lb;
+      v->seq = next_seq;
+      as.push(VertexEntry{c.lb, next_seq, c.ref});
+      ++next_seq;
+      ++stats.activated;
       if (params.trace) {
-        params.trace->record(TraceEvent::kActivate, c.state.count(), c.lb);
+        params.trace->record(TraceEvent::kActivate, child_count, c.lb);
       }
     }
 

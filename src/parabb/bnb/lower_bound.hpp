@@ -26,19 +26,83 @@
 // equals the real finish time, so L̂ is the exact cost of a goal vertex.
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "parabb/bnb/params.hpp"
 #include "parabb/sched/context.hpp"
 #include "parabb/sched/partial_schedule.hpp"
 
 namespace parabb {
 
-/// Evaluates lower bound `kind` for `ps`. O(n + e) for LB0/LB1;
-/// O(n log n + e) for LB2.
+/// Evaluates lower bound `kind` for `ps` from scratch. O(n + e) for
+/// LB0/LB1; O(n log n + e) for LB2. This is the reference implementation:
+/// the engines evaluate children through IncrementalLB below, and the
+/// differential suite (tests/test_lower_bound_incremental.cpp) pins the two
+/// to each other on every state it can generate.
 Time lower_bound_cost(const SchedContext& ctx, const PartialSchedule& ps,
                       LowerBound kind);
 
 /// The exact maximum lateness of a complete schedule (all f̂ = f).
 /// Convenience wrapper asserting completeness.
 Time exact_cost(const SchedContext& ctx, const PartialSchedule& ps);
+
+/// Incremental bound evaluator: a scratch context that rides along a
+/// place()/unplace() walk so per-child evaluation touches only what the
+/// placement changed instead of re-deriving everything from scratch.
+///
+/// What it maintains across place()/unplace() (invariants, each restored
+/// exactly by unplace because the scheduling operation is reversible):
+///  * `avail_sum`   = Σ_q proc_avail(q)   — LB2's packing numerator;
+///  * `unsched_work`= Σ exec over unscheduled tasks;
+///  * `worst_sched` = max lateness over the scheduled prefix (monotone
+///    under place, so one saved value per nesting level undoes it);
+///  * unscheduled-membership bitmasks in topo-rank and deadline-rank
+///    space, so both evaluation loops visit unscheduled tasks only, in
+///    the right order, with no sort and no branch per skipped task;
+///  * f̂ of every *scheduled* task (its exact finish time).
+///
+/// evaluate() then costs O(U + E_U) for LB0/LB1 and O(U + E_U + U) for LB2
+/// — U = unscheduled tasks, E_U = their incoming arcs — instead of the
+/// from-scratch O(n + e + n log n), and it short-circuits as soon as its
+/// running maximum proves the final bound cannot stay below `cutoff`.
+class IncrementalLB {
+ public:
+  explicit IncrementalLB(const SchedContext& ctx) noexcept : ctx_(&ctx) {}
+
+  /// Rebinds the scratch to `ps` in O(n + m). Call once per expanded
+  /// parent; subsequent place()/unplace() keep the terms synchronized.
+  void attach(const PartialSchedule& ps) noexcept;
+
+  /// Applies ps.place(t, p) and updates every incremental term.
+  /// Returns the assigned start time.
+  CTime place(PartialSchedule& ps, TaskId t, ProcId p) noexcept;
+
+  /// Reverts the most recent not-yet-reverted place() (LIFO nesting, same
+  /// discipline PartialSchedule::unplace already requires).
+  void unplace(PartialSchedule& ps, TaskId t) noexcept;
+
+  /// Lower bound of the attached state. When the result is < cutoff it is
+  /// the exact bound (== lower_bound_cost). Otherwise it is some value v
+  /// with cutoff <= v <= exact bound — enough to decide every
+  /// `bound >= threshold` prune identically to the exact evaluation, which
+  /// is the only way the engines consume bounds at or above the threshold.
+  Time evaluate(const PartialSchedule& ps, LowerBound kind,
+                Time cutoff = kTimeInf) noexcept;
+
+ private:
+  static_assert(kMaxTasks <= 64, "rank bitmasks are one 64-bit word");
+
+  const SchedContext* ctx_;
+  Time avail_sum_ = 0;              ///< Σ_q proc_avail(q)
+  Time unsched_work_ = 0;           ///< Σ exec over unscheduled tasks
+  Time worst_sched_ = kTimeNegInf;  ///< max lateness of the scheduled prefix
+  std::uint64_t unsched_topo_ = 0;  ///< unscheduled set, bit = topo rank
+  std::uint64_t unsched_dl_ = 0;    ///< unscheduled set, bit = deadline rank
+  int depth_ = 0;                   ///< place() nesting level
+  std::array<Time, kMaxTasks> fhat_{};  ///< f̂; exact finish when scheduled
+  /// worst_sched_ undo stack: the one term place() cannot invert itself.
+  std::array<Time, kMaxTasks + 1> saved_worst_{};
+};
 
 }  // namespace parabb

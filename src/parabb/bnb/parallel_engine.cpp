@@ -69,11 +69,17 @@ struct Shared {
   }
 
   /// Raises `stop` with reason `r`; the first caller's reason sticks.
+  /// The flag is set under `queue_mutex`: a bare store + notify could land
+  /// between a worker's wait-predicate check and its actual block, and that
+  /// worker would sleep through the wakeup forever (missed-wakeup race).
   void request_stop(TerminationReason r) {
     TerminationReason expected = TerminationReason::kExhausted;
     stop_reason.compare_exchange_strong(expected, r,
                                         std::memory_order_relaxed);
-    stop.store(true);
+    {
+      const std::lock_guard lock(queue_mutex);
+      stop.store(true);
+    }
     queue_cv.notify_all();
   }
 
@@ -131,41 +137,47 @@ InlineVector<TaskId, kMaxTasks> branch_tasks(const SchedContext& ctx,
 
 /// Expands one vertex; goals update the incumbent, surviving children are
 /// appended to `out` worst-bound-first (pop-back then explores best-first).
-void expand(Shared& sh, const WorkItem& item, std::vector<WorkItem>& out,
-            SearchStats& stats) {
+/// Zero-copy: candidates are evaluated via place → bound → unplace on one
+/// scratch state; only survivors are copied into `out`.
+void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
+            std::vector<WorkItem>& out, SearchStats& stats) {
   ++stats.expanded;
   const Time threshold = sh.threshold();
   const std::size_t base = out.size();
+  // Goal children need their exact cost (offer_goal compares it to the
+  // incumbent directly), so the short-circuit may not fire on them.
+  const bool goal_children = item.state.count() + 1 == sh.ctx.task_count();
+  const Time cutoff =
+      (sh.params.incremental_lb && sh.params.elim == ElimRule::kUDBAS &&
+       !goal_children)
+          ? threshold
+          : kTimeInf;
+  PartialSchedule cur = item.state;
+  inc.attach(cur);
   std::uint64_t generated_here = 0;
-  for (const TaskId t :
-       branch_tasks(sh.ctx, sh.params.branch, item.state.ready())) {
+  for (const TaskId t : branch_tasks(sh.ctx, sh.params.branch, cur.ready())) {
     for (ProcId p = 0; p < sh.ctx.proc_count(); ++p) {
       ++stats.generated;
       ++generated_here;
-      WorkItem child;
-      child.state = item.state;
-      child.state.place(sh.ctx, t, p);
-      child.lb = lower_bound_cost(sh.ctx, child.state, sh.params.lb);
-      if (child.state.complete(sh.ctx)) {
+      inc.place(cur, t, p);
+      const Time lb = sh.params.incremental_lb
+                          ? inc.evaluate(cur, sh.params.lb, cutoff)
+                          : lower_bound_cost(sh.ctx, cur, sh.params.lb);
+      if (goal_children) {
         ++stats.goals;
-        sh.offer_goal(child.state, child.lb, stats);
-        continue;
-      }
-      if (sh.params.characteristic &&
-          !sh.params.characteristic(sh.ctx, child.state)) {
+        sh.offer_goal(cur, lb, stats);
+      } else if (sh.params.characteristic &&
+                 !sh.params.characteristic(sh.ctx, cur)) {
         ++stats.pruned_children;
-        continue;
-      }
-      if (sh.params.elim == ElimRule::kUDBAS && child.lb >= threshold) {
+      } else if (sh.params.elim == ElimRule::kUDBAS && lb >= threshold) {
         ++stats.pruned_children;
-        continue;
-      }
-      if (sh.tt && sh.tt->seen_or_insert(child.state, child.lb)) {
+      } else if (sh.tt && sh.tt->seen_or_insert(cur, lb)) {
         ++stats.pruned_children;  // duplicate: another worker owns this state
-        continue;
+      } else {
+        out.push_back(WorkItem{cur, lb});
+        ++stats.activated;
       }
-      out.push_back(std::move(child));
-      ++stats.activated;
+      inc.unplace(cur, t);
     }
   }
   if (generated_here > 0) {
@@ -181,6 +193,7 @@ void expand(Shared& sh, const WorkItem& item, std::vector<WorkItem>& out,
 /// to go idle with an empty queue declares the search done.
 void worker_loop(Shared& sh, SearchStats& stats) {
   std::vector<WorkItem> local;
+  IncrementalLB inc(sh.ctx);  // private scratch: no shared mutable state
   for (;;) {
     {
       std::unique_lock lock(sh.queue_mutex);
@@ -208,6 +221,7 @@ void worker_loop(Shared& sh, SearchStats& stats) {
     // Depth-first dive on the private stack.
     while (!local.empty()) {
       if (sh.should_stop()) {
+        stats.disposed += local.size();  // abandoned by the early stop
         local.clear();
         break;
       }
@@ -217,8 +231,10 @@ void worker_loop(Shared& sh, SearchStats& stats) {
         ++stats.pruned_active;
         continue;
       }
-      expand(sh, item, local, stats);
+      expand(sh, inc, item, local, stats);
       stats.peak_active = std::max(stats.peak_active, local.size());
+      stats.peak_memory_bytes = std::max(
+          stats.peak_memory_bytes, local.capacity() * sizeof(WorkItem));
 
       // Donate the shallowest half when the queue is dry and peers starve.
       if (local.size() >= 2 &&
@@ -246,7 +262,9 @@ void merge_stats(SearchStats& into, const SearchStats& s) {
   into.goal_updates += s.goal_updates;
   into.pruned_children += s.pruned_children;
   into.pruned_active += s.pruned_active;
+  into.disposed += s.disposed;
   into.peak_active += s.peak_active;  // approximate: sum of worker peaks
+  into.peak_memory_bytes += s.peak_memory_bytes;  // likewise
 }
 
 }  // namespace
@@ -286,6 +304,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   // Seeding: breadth-first expansion until one frontier item per worker.
   SearchStats seed_stats;
   {
+    IncrementalLB seed_inc(ctx);
     std::deque<WorkItem> frontier;
     WorkItem root;
     root.state = PartialSchedule::empty(ctx);
@@ -302,8 +321,11 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
         continue;
       }
       buf.clear();
-      expand(sh, item, buf, seed_stats);
+      expand(sh, seed_inc, item, buf, seed_stats);
       for (WorkItem& w : buf) frontier.push_back(std::move(w));
+      seed_stats.peak_memory_bytes =
+          std::max(seed_stats.peak_memory_bytes,
+                   frontier.size() * sizeof(WorkItem));
     }
     for (WorkItem& w : frontier) sh.queue.push_back(std::move(w));
     sh.queue_hint.store(sh.queue.size());
@@ -339,6 +361,9 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     for (const SearchStats& s : per_thread) merge_stats(result.stats, s);
   }
   merge_stats(result.stats, seed_stats);
+  // Work left behind in the shared queue by an early stop was disposed of,
+  // the same way worker-local leftovers are counted inside worker_loop.
+  if (sh.stop.load()) result.stats.disposed += sh.queue.size();
   const TerminationReason reason = sh.stop.load()
                                        ? sh.stop_reason.load()
                                        : TerminationReason::kExhausted;

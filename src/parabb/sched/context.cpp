@@ -1,5 +1,7 @@
 #include "parabb/sched/context.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <string>
 
 #include "parabb/support/assert.hpp"
@@ -77,6 +79,41 @@ SchedContext::SchedContext(const TaskGraph& graph, const Machine& machine)
            static_cast<std::size_t>(q)] =
           static_cast<CTime>(machine.hops(p, q));
     }
+  }
+
+  // Static bound-evaluation aids: the deadline-sorted order (ties broken by
+  // id so the order is deterministic; the packing bound's value is
+  // tie-order independent), its inverse, per-rank exec/deadline arrays,
+  // workload prefix sums, slacks, and the static lateness floor.
+  topo_rank_.assign(un, 0);
+  for (int r = 0; r < n_; ++r) {
+    topo_rank_[idx(topo_.topo_order[static_cast<std::size_t>(r)])] = r;
+  }
+  deadline_order_.resize(un);
+  std::iota(deadline_order_.begin(), deadline_order_.end(), TaskId{0});
+  std::sort(deadline_order_.begin(), deadline_order_.end(),
+            [&](TaskId a, TaskId b) {
+              if (deadline_[idx(a)] != deadline_[idx(b)])
+                return deadline_[idx(a)] < deadline_[idx(b)];
+              return a < b;
+            });
+  deadline_rank_.assign(un, 0);
+  dl_exec_.resize(un);
+  dl_deadline_.resize(un);
+  dl_prefix_work_.assign(un + 1, 0);
+  slack_.resize(un);
+  for (int r = 0; r < n_; ++r) {
+    const TaskId t = deadline_order_[static_cast<std::size_t>(r)];
+    deadline_rank_[idx(t)] = r;
+    dl_exec_[static_cast<std::size_t>(r)] = exec_[idx(t)];
+    dl_deadline_[static_cast<std::size_t>(r)] = deadline_[idx(t)];
+    dl_prefix_work_[static_cast<std::size_t>(r) + 1] =
+        dl_prefix_work_[static_cast<std::size_t>(r)] + Time{exec_[idx(t)]};
+  }
+  for (TaskId t = 0; t < n_; ++t) {
+    slack_[idx(t)] = Time{deadline_[idx(t)]} - Time{arrival_[idx(t)]} -
+                     Time{exec_[idx(t)]};
+    static_floor_ = std::max(static_floor_, -slack_[idx(t)]);
   }
 }
 

@@ -80,6 +80,40 @@ class SchedContext {
   std::span<const TaskId> topo_order() const noexcept {
     return topo_.topo_order;
   }
+  /// Position of t within topo_order() (inverse permutation).
+  int topo_rank(TaskId t) const noexcept { return topo_rank_[idx(t)]; }
+  /// Tasks sorted by (absolute deadline, id): the static order the LB2
+  /// packing bound walks. Membership changes between bound evaluations,
+  /// the order never does, so it is computed once here instead of per
+  /// evaluation (see bnb/lower_bound.hpp, IncrementalLB).
+  std::span<const TaskId> deadline_order() const noexcept {
+    return deadline_order_;
+  }
+  /// Position of t within deadline_order() (inverse permutation).
+  int deadline_rank(TaskId t) const noexcept { return deadline_rank_[idx(t)]; }
+  /// exec / deadline of the task at deadline rank r, as contiguous arrays
+  /// so the packing loop touches no indirection.
+  CTime exec_at_deadline_rank(int r) const noexcept {
+    return dl_exec_[static_cast<std::size_t>(r)];
+  }
+  CTime deadline_at_rank(int r) const noexcept {
+    return dl_deadline_[static_cast<std::size_t>(r)];
+  }
+  /// Prefix sums over deadline_order(): sum of exec of ranks [0, r).
+  /// deadline_prefix_work(n) is the total workload of the graph.
+  Time deadline_prefix_work(int r) const noexcept {
+    return dl_prefix_work_[static_cast<std::size_t>(r)];
+  }
+  Time total_work() const noexcept {
+    return dl_prefix_work_[static_cast<std::size_t>(n_)];
+  }
+  /// Static slack D_t − (a_t + c_t): how late t's window is relative to an
+  /// unobstructed run. Negative slack means t is late in *every* schedule.
+  Time slack(TaskId t) const noexcept { return slack_[idx(t)]; }
+  /// max_t (a_t + c_t − D_t) = −min slack: an exact static floor on every
+  /// bound function (f̂_t >= a_t + c_t always), so evaluators may seed
+  /// their running maximum with it and short-circuit earlier.
+  Time static_lateness_floor() const noexcept { return static_floor_; }
   /// DF branching priority (see Topology::dfs_order).
   std::span<const TaskId> dfs_order() const noexcept {
     return topo_.dfs_order;
@@ -100,6 +134,11 @@ class SchedContext {
   int n_ = 0;
   int m_ = 0;
   std::vector<CTime> exec_, arrival_, deadline_;
+  std::vector<int> topo_rank_, deadline_rank_;
+  std::vector<TaskId> deadline_order_;
+  std::vector<CTime> dl_exec_, dl_deadline_;
+  std::vector<Time> dl_prefix_work_, slack_;
+  Time static_floor_ = kTimeNegInf;
   std::vector<std::size_t> pred_off_, succ_off_;
   std::vector<TaskId> pred_task_, succ_task_;
   std::vector<CTime> pred_comm_, succ_comm_;

@@ -71,7 +71,7 @@ CTime PartialSchedule::place(const SchedContext& ctx, TaskId t,
   return s;
 }
 
-void PartialSchedule::unplace(const SchedContext& ctx, TaskId t) noexcept {
+CTime PartialSchedule::unplace(const SchedContext& ctx, TaskId t) noexcept {
   PARABB_ASSERT(scheduled_.contains(t));
   const auto ut = static_cast<std::size_t>(t);
   const ProcId p = proc_[ut];
@@ -99,6 +99,7 @@ void PartialSchedule::unplace(const SchedContext& ctx, TaskId t) noexcept {
     }
   }
   avail_[up] = frontier;
+  return frontier;
 }
 
 std::uint64_t PartialSchedule::fingerprint_from_scratch() const noexcept {

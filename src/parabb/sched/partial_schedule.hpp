@@ -74,7 +74,9 @@ class PartialSchedule {
   /// reversible: t must be the last task appended to its processor and no
   /// successor of t may be scheduled (both asserted). Restores the ready
   /// set, the processor frontier, and the incremental fingerprint.
-  void unplace(const SchedContext& ctx, TaskId t) noexcept;
+  /// Returns the restored frontier of t's processor, so incremental
+  /// evaluators can update availability sums without a second lookup.
+  CTime unplace(const SchedContext& ctx, TaskId t) noexcept;
 
   /// Canonical 64-bit state fingerprint: XOR over every scheduled task of
   /// a Zobrist-style key derived from (task, processor, start time).

@@ -21,6 +21,12 @@ class TextTable {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Structured access for machine-readable emitters (bench JSON).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Renders with 2-space column gaps; numeric-looking cells right-aligned.
   std::string to_string() const;
 

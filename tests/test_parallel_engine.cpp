@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "parabb/bnb/brute_force.hpp"
 #include "parabb/bnb/cancel.hpp"
 #include "parabb/sched/validator.hpp"
@@ -171,6 +174,50 @@ TEST(ParallelEngine, StatsAreMerged) {
   EXPECT_GT(r.stats.expanded, 0u);
   EXPECT_GT(r.stats.generated, r.stats.expanded);
   EXPECT_GE(r.stats.seconds, 0.0);
+  // Workers report their dive-stack footprint; merged it must be nonzero
+  // for any search that expanded at least one vertex.
+  EXPECT_GT(r.stats.peak_memory_bytes, 0u);
+}
+
+TEST(ParallelEngine, DisposedCountsWorkAbandonedByCancel) {
+  const TaskGraph g = test::tight_instance(31);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  CancelToken token;
+  token.cancel();  // trip before the search starts: everything is abandoned
+  ParallelParams pp;
+  pp.threads = 2;
+  pp.base.cancel = &token;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  EXPECT_EQ(r.reason, TerminationReason::kCancelled);
+  // The seed frontier was built before the first poll, so the queue holds
+  // work that the stop discarded; it must be accounted, not silently zero.
+  EXPECT_GT(r.stats.disposed, 0u);
+}
+
+// Regression for the missed-wakeup race in Shared::request_stop: a stop
+// flag stored without holding queue_mutex can slip between a worker's wait
+// predicate and its block, leaving the worker asleep forever. Cancel under
+// load from a racing thread, at staggered delays, and require every run to
+// join promptly.
+TEST(ParallelEngine, CancelUnderLoadStress) {
+  const TaskGraph g = test::tight_instance(29);
+  const SchedContext ctx = test::make_ctx(g, 2);
+  for (int rep = 0; rep < 12; ++rep) {
+    CancelToken token;
+    ParallelParams pp;
+    pp.threads = 8;
+    pp.base.lb = LowerBound::kLB0;  // weak bound: plenty of live work
+    pp.base.cancel = &token;
+    std::thread canceller([&token, rep] {
+      std::this_thread::sleep_for(std::chrono::microseconds(rep * 300));
+      token.cancel();
+    });
+    const ParallelResult r = solve_bnb_parallel(ctx, pp);
+    canceller.join();
+    EXPECT_TRUE(r.found_solution);  // the EDF seed at minimum
+    EXPECT_TRUE(r.reason == TerminationReason::kCancelled ||
+                r.reason == TerminationReason::kExhausted);
+  }
 }
 
 }  // namespace
