@@ -1,0 +1,32 @@
+// Certificate-emission helpers shared by the sequential and parallel
+// engines. Only consulted on the certify path (Params::certify != null),
+// which is cold by definition — the extra from-scratch LB1 evaluation per
+// LB2 cut is deliberate, not an oversight.
+#pragma once
+
+#include "parabb/bnb/lower_bound.hpp"
+#include "parabb/bnb/params.hpp"
+#include "parabb/verify/certificate.hpp"
+
+namespace parabb {
+
+/// Classifies a bound cut for the audit log. For LB0/LB1 runs the rule is
+/// the configured bound. For LB2 runs, a cut where the LB1 component
+/// alone would NOT have dominated the incumbent was decided by the
+/// workload-packing term — recorded as kPackingSuffix so the verifier can
+/// hold the packing claim itself to account.
+inline CutRule bound_cut_rule(const SchedContext& ctx,
+                              const PartialSchedule& state, LowerBound kind,
+                              Time threshold) {
+  switch (kind) {
+    case LowerBound::kLB0: return CutRule::kLB0;
+    case LowerBound::kLB1: return CutRule::kLB1;
+    case LowerBound::kLB2:
+      return lower_bound_cost(ctx, state, LowerBound::kLB1) < threshold
+                 ? CutRule::kPackingSuffix
+                 : CutRule::kLB2;
+  }
+  return CutRule::kLB1;
+}
+
+}  // namespace parabb

@@ -7,6 +7,7 @@
 
 #include "parabb/bnb/active_set.hpp"
 #include "parabb/bnb/cancel.hpp"
+#include "parabb/bnb/certify.hpp"
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/trace.hpp"
 #include "parabb/bnb/transposition.hpp"
@@ -96,6 +97,12 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
       break;
   }
 
+  if (params.certify) {
+    params.certify->begin(ctx, static_cast<int>(params.lb),
+                          params.branch == BranchRule::kBFn, params.br,
+                          describe(params));
+  }
+
   // Duplicate-state detection: every state that enters the search is
   // recorded; a child equal to a recorded state with an equal-or-better
   // bound is pruned (identical states root identical subtrees).
@@ -105,7 +112,22 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   }
 
   SlotPool pool(sizeof(Vertex), 8192);
-  auto release = [&pool](SlotRef ref) { pool.release(ref); };
+  // ActiveSet::prune_worse releases entries through this callback; while
+  // `certify_releases` is armed (only around prune_worse, never around
+  // dispose_worst — disposals are losses, not justified cuts) each
+  // released vertex is logged against `release_threshold`.
+  bool certify_releases = false;
+  Time release_threshold = kTimeInf;
+  auto release = [&](SlotRef ref) {
+    if (certify_releases) {
+      const auto* v = static_cast<const Vertex*>(pool.get(ref));
+      params.certify->record_cut(
+          ctx, v->state,
+          bound_cut_rule(ctx, v->state, params.lb, release_threshold),
+          v->lb);
+    }
+    pool.release(ref);
+  };
   ActiveSet as(params.select, release, params.llb_tie_newest);
 
   std::uint32_t next_seq = 0;
@@ -173,6 +195,12 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         }
         if (params.elim == ElimRule::kUDBAS) {
           const VertexEntry e = as.pop();
+          if (params.certify) {
+            const auto* v = static_cast<const Vertex*>(pool.get(e.ref));
+            params.certify->record_cut(
+                ctx, v->state,
+                bound_cut_rule(ctx, v->state, params.lb, threshold), e.lb);
+          }
           pool.release(e.ref);
           ++stats.pruned_active;
           continue;
@@ -199,12 +227,14 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     // When every child is a goal its bound is its exact cost and may beat
     // the incumbent even at or above the BR-relaxed threshold, so the
     // short-circuit must not fire. Likewise keep bounds exact while a
-    // trace listens (it records lb values of pruned children) and under
-    // E = none (pruned-vs-kept is not decided by the threshold alone).
+    // trace listens (it records lb values of pruned children), under
+    // E = none (pruned-vs-kept is not decided by the threshold alone),
+    // and while certifying (the audit log must carry exact bounds).
     const bool goal_children = child_count == ctx.task_count();
     const Time cutoff =
         (params.incremental_lb && params.elim == ElimRule::kUDBAS &&
-         !goal_children && params.trace == nullptr)
+         !goal_children && params.trace == nullptr &&
+         params.certify == nullptr)
             ? threshold
             : kTimeInf;
     PartialSchedule cur = parent;
@@ -245,16 +275,29 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           if (params.trace) {
             params.trace->record(TraceEvent::kPruneChild, child_count, lb);
           }
+          if (params.certify) {
+            params.certify->record_cut(ctx, cur, CutRule::kCharacteristic,
+                                       lb);
+          }
         } else if (params.elim == ElimRule::kUDBAS && lb >= threshold) {
           ++stats.pruned_children;  // E applied to DB
           if (params.trace) {
             params.trace->record(TraceEvent::kPruneChild, child_count, lb);
+          }
+          if (params.certify) {
+            params.certify->record_cut(
+                ctx, cur, bound_cut_rule(ctx, cur, params.lb, threshold),
+                lb);
           }
         } else if (tt && tt->seen_or_insert(cur, lb)) {
           ++stats.pruned_children;  // duplicate of an already-seen state
           if (params.trace) {
             params.trace->record(TraceEvent::kTransposition, child_count,
                                  lb);
+          }
+          if (params.certify) {
+            params.certify->record_cut(ctx, cur, CutRule::kTransposition,
+                                       lb);
           }
         } else {
           keep = true;
@@ -309,6 +352,10 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
             params.trace->record(TraceEvent::kPruneChild, child_count,
                                  staged[i].lb);
           }
+          if (params.certify) {
+            params.certify->record_cut(ctx, state_of(staged[i]),
+                                       CutRule::kDominance, staged[i].lb);
+          }
           pool.release(staged[i].ref);
         }
       }
@@ -317,20 +364,30 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
 
     // Step 8 applied to AS: a better incumbent invalidates queued vertices.
     if (improved && params.elim == ElimRule::kUDBAS) {
-      const std::size_t removed =
-          as.prune_worse(prune_threshold(incumbent, params.br));
+      const Time fresh = prune_threshold(incumbent, params.br);
+      if (params.certify) {
+        certify_releases = true;
+        release_threshold = fresh;
+      }
+      const std::size_t removed = as.prune_worse(fresh);
+      certify_releases = false;
       stats.pruned_active += removed;
       if (params.trace && removed > 0) {
         params.trace->record(TraceEvent::kPruneActive, -1,
                              static_cast<Time>(removed));
       }
       // Staged children were bounded against the stale threshold.
-      const Time fresh = prune_threshold(incumbent, params.br);
       std::erase_if(staged, [&](const StagedChild& c) {
         if (c.lb < fresh) return false;
         ++stats.pruned_children;
         if (params.trace) {
           params.trace->record(TraceEvent::kPruneChild, child_count, c.lb);
+        }
+        if (params.certify) {
+          const auto* v = static_cast<const Vertex*>(pool.get(c.ref));
+          params.certify->record_cut(
+              ctx, v->state,
+              bound_cut_rule(ctx, v->state, params.lb, fresh), c.lb);
         }
         pool.release(c.ref);
         return true;
@@ -384,6 +441,11 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   result.proved = result.found_solution && !compromised &&
                   !is_interrupted(result.reason) &&
                   params.branch == BranchRule::kBFn;
+  if (params.certify) {
+    params.certify->finish(result.found_solution, result.best,
+                           result.best_cost, result.proved, stats.expanded,
+                           stats.generated);
+  }
 
   // Optimality-gap certificate (see SearchResult::certified_lower_bound).
   // F may prune vertices whose completions are cheap-but-invalid, so a

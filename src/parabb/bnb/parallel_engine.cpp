@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "parabb/bnb/cancel.hpp"
+#include "parabb/bnb/certify.hpp"
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/transposition.hpp"
 #include "parabb/sched/edf.hpp"
@@ -149,7 +150,7 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
   const bool goal_children = item.state.count() + 1 == sh.ctx.task_count();
   const Time cutoff =
       (sh.params.incremental_lb && sh.params.elim == ElimRule::kUDBAS &&
-       !goal_children)
+       !goal_children && sh.params.certify == nullptr)
           ? threshold
           : kTimeInf;
   PartialSchedule cur = item.state;
@@ -169,10 +170,23 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
       } else if (sh.params.characteristic &&
                  !sh.params.characteristic(sh.ctx, cur)) {
         ++stats.pruned_children;
+        if (sh.params.certify) {
+          sh.params.certify->record_cut(sh.ctx, cur,
+                                        CutRule::kCharacteristic, lb);
+        }
       } else if (sh.params.elim == ElimRule::kUDBAS && lb >= threshold) {
         ++stats.pruned_children;
+        if (sh.params.certify) {
+          sh.params.certify->record_cut(
+              sh.ctx, cur,
+              bound_cut_rule(sh.ctx, cur, sh.params.lb, threshold), lb);
+        }
       } else if (sh.tt && sh.tt->seen_or_insert(cur, lb)) {
         ++stats.pruned_children;  // duplicate: another worker owns this state
+        if (sh.params.certify) {
+          sh.params.certify->record_cut(sh.ctx, cur,
+                                        CutRule::kTransposition, lb);
+        }
       } else {
         out.push_back(WorkItem{cur, lb});
         ++stats.activated;
@@ -227,8 +241,16 @@ void worker_loop(Shared& sh, SearchStats& stats) {
       }
       const WorkItem item = std::move(local.back());
       local.pop_back();
-      if (sh.params.elim == ElimRule::kUDBAS && item.lb >= sh.threshold()) {
+      const Time pop_threshold = sh.threshold();
+      if (sh.params.elim == ElimRule::kUDBAS && item.lb >= pop_threshold) {
         ++stats.pruned_active;
+        if (sh.params.certify) {
+          sh.params.certify->record_cut(
+              sh.ctx, item.state,
+              bound_cut_rule(sh.ctx, item.state, sh.params.lb,
+                             pop_threshold),
+              item.lb);
+        }
         continue;
       }
       expand(sh, inc, item, local, stats);
@@ -284,6 +306,12 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   Shared sh(ctx, pp.base);
   sh.total_threads = threads;
 
+  if (pp.base.certify) {
+    pp.base.certify->begin(ctx, static_cast<int>(pp.base.lb),
+                           pp.base.branch == BranchRule::kBFn, pp.base.br,
+                           describe(pp.base));
+  }
+
   // Initial upper bound U.
   Schedule initial_best;
   switch (pp.base.ub) {
@@ -316,8 +344,15 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       if (sh.should_stop()) break;
       const WorkItem item = std::move(frontier.front());
       frontier.pop_front();
-      if (pp.base.elim == ElimRule::kUDBAS && item.lb >= sh.threshold()) {
+      const Time seed_threshold = sh.threshold();
+      if (pp.base.elim == ElimRule::kUDBAS && item.lb >= seed_threshold) {
         ++seed_stats.pruned_active;
+        if (pp.base.certify) {
+          pp.base.certify->record_cut(
+              ctx, item.state,
+              bound_cut_rule(ctx, item.state, pp.base.lb, seed_threshold),
+              item.lb);
+        }
         continue;
       }
       buf.clear();
@@ -378,6 +413,11 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   result.reason = reason;
   result.proved = result.found_solution && !is_interrupted(reason) &&
                   pp.base.branch == BranchRule::kBFn;
+  if (pp.base.certify) {
+    pp.base.certify->finish(result.found_solution, result.best,
+                            result.best_cost, result.proved,
+                            result.stats.expanded, result.stats.generated);
+  }
   if (sh.tt) {
     const TranspositionCounters tc = sh.tt->counters();
     result.stats.tt_hits = tc.hits;

@@ -14,8 +14,9 @@
 
 namespace parabb {
 
-class SearchTrace;  // bnb/trace.hpp
-class CancelToken;  // bnb/cancel.hpp
+class SearchTrace;         // bnb/trace.hpp
+class CancelToken;         // bnb/cancel.hpp
+class CertificateBuilder;  // verify/certificate.hpp
 
 /// S — vertex selection rule (§3.2).
 enum class SelectRule : std::uint8_t {
@@ -134,6 +135,14 @@ struct Params {
   /// may be null. Both engines poll it on the hot loop and return the best
   /// incumbent with TerminationReason::kCancelled once it trips.
   const CancelToken* cancel = nullptr;
+
+  /// Optional optimality-certificate recorder (verify/certificate.hpp);
+  /// not owned, may be null. When set, both engines log every cut they
+  /// make (fingerprint, rule, claimed bound, placement path) and disable
+  /// the bound-aware LB short-circuit so every claimed bound is exact.
+  /// The builder is thread-safe; the parallel engine's workers record
+  /// into it concurrently.
+  CertificateBuilder* certify = nullptr;
 };
 
 std::string to_string(SelectRule s);

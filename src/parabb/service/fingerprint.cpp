@@ -55,6 +55,9 @@ std::string request_key(const JobRequest& request) {
      << p.rb.max_memory_bytes << '\n';
   os << "engine threads=" << (request.threads > 1 ? request.threads : 1)
      << '\n';
+  // Certified results carry the certificate text; a plain cached result
+  // must never satisfy a certify request (or vice versa).
+  os << "certify=" << request.certify << '\n';
   os << "budget wall_ms=" << request.budget.wall_ms
      << " max_generated=" << request.budget.max_generated
      << " max_active_bytes=" << request.budget.max_active_bytes << '\n';

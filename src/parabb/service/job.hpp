@@ -63,6 +63,11 @@ struct JobRequest {
   int threads = 1;    ///< 1 = sequential engine; >1 = parallel engine
   int priority = 0;   ///< higher admits earlier; FIFO within a priority
   Budget budget;
+  /// When true the solve records an optimality certificate
+  /// (verify/certificate.hpp) and the result carries its text serialization.
+  /// Certified solves disable the engines' bound-aware LB short-circuit, so
+  /// they are slower than plain ones; the flag participates in the cache key.
+  bool certify = false;
 };
 
 /// One terminal response. `schedule` is meaningful iff `found`.
@@ -81,6 +86,10 @@ struct JobResult {
   /// Non-empty when the job failed before/inside the engine (bad request,
   /// capacity limits). An errored job has no meaningful outcome fields.
   std::string error;
+  /// Text-format optimality certificate (verify/certificate_io.hpp);
+  /// non-empty iff the request set `certify`. Check it independently with
+  /// `parabb_verify` or verify_certificate().
+  std::string certificate;
 };
 
 }  // namespace parabb

@@ -1,5 +1,6 @@
 #include "parabb/service/protocol.hpp"
 
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
 
@@ -35,6 +36,33 @@ std::string get_string_field(const JsonValue& obj, const char* key,
   if (!v) return fallback;
   if (!v->is_string()) bad_request(std::string(key) + " must be a string");
   return v->as_string();
+}
+
+bool get_bool_field(const JsonValue& obj, const char* key, bool fallback) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return fallback;
+  if (!v->is_bool()) bad_request(std::string(key) + " must be a bool");
+  return v->as_bool();
+}
+
+/// Rejects members outside the allowed set. Typo'd or unknown fields fail
+/// loudly instead of being silently ignored — a client that sends
+/// {"thread":4} gets an error, not a surprising sequential solve.
+void reject_unknown_fields(const JsonValue& obj, const char* what,
+                           std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      bad_request("unknown " + std::string(what) + " field '" + key + "'");
+    }
+  }
 }
 
 }  // namespace
@@ -97,8 +125,17 @@ Machine machine_from_spec(int procs, Time comm_per_item,
 }
 
 JobRequest request_from_json(const std::string& line) {
+  if (line.size() > kMaxRequestLineBytes) {
+    bad_request("request line exceeds " +
+                std::to_string(kMaxRequestLineBytes) + " bytes (got " +
+                std::to_string(line.size()) + ")");
+  }
   const JsonValue doc = JsonValue::parse(line);
   if (!doc.is_object()) bad_request("request must be a JSON object");
+  reject_unknown_fields(doc, "request",
+                        {"id", "graph", "procs", "comm", "topology",
+                         "select", "branch", "lb", "br", "ub", "tt",
+                         "threads", "priority", "budget", "certify"});
 
   JobRequest req;
   req.id = get_string_field(doc, "id", "");
@@ -148,8 +185,12 @@ JobRequest request_from_json(const std::string& line) {
   if (req.threads < 0) bad_request("threads must be >= 0");
   req.priority = static_cast<int>(get_int_field(doc, "priority", 0));
 
+  req.certify = get_bool_field(doc, "certify", false);
+
   if (const JsonValue* budget = doc.find("budget")) {
     if (!budget->is_object()) bad_request("budget must be an object");
+    reject_unknown_fields(*budget, "budget",
+                          {"wall_ms", "max_generated", "max_active_bytes"});
     req.budget.wall_ms = get_double_field(*budget, "wall_ms", 0.0);
     req.budget.max_generated = static_cast<std::uint64_t>(
         get_int_field(*budget, "max_generated", 0));
@@ -191,6 +232,9 @@ std::string response_to_json(const JobResult& result,
       sched.push_back(std::move(entry));
     }
     out.set("schedule", std::move(sched));
+  }
+  if (!result.certificate.empty()) {
+    out.set("certificate", result.certificate);
   }
   return out.dump();
 }

@@ -17,11 +17,18 @@
 // file after zeroing the "seconds" field).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "parabb/service/job.hpp"
 
 namespace parabb {
+
+/// Hard cap on one request line. A line past this is rejected with a
+/// structured error before JSON parsing — the graph is capped at
+/// kMaxTasks tasks, so legitimate requests are orders of magnitude
+/// smaller and an oversized line is a protocol error, not a big job.
+inline constexpr std::size_t kMaxRequestLineBytes = std::size_t{1} << 20;
 
 /// Shared CLI/protocol spelling parsers (throw std::runtime_error on an
 /// unknown spelling; used by parabb_solve and the JSONL protocol alike).

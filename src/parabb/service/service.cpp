@@ -8,6 +8,8 @@
 #include "parabb/service/fingerprint.hpp"
 #include "parabb/support/assert.hpp"
 #include "parabb/support/timer.hpp"
+#include "parabb/verify/certificate.hpp"
+#include "parabb/verify/certificate_io.hpp"
 
 namespace parabb {
 
@@ -113,6 +115,9 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
     params.trace = nullptr;  // service-owned fields
     apply_budget(params, req.budget, &record->token);
 
+    CertificateBuilder builder;
+    if (req.certify) params.certify = &builder;
+
     Stopwatch watch;
     if (req.threads > 1) {
       ParallelParams pp;
@@ -137,6 +142,9 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
     }
     out.seconds = watch.seconds();
     out.outcome = outcome_of(out.reason, out.found);
+    if (req.certify) {
+      out.certificate = certificate_to_text(builder.take(), req.graph);
+    }
   } catch (const std::exception& e) {
     out.error = e.what();
     return out;

@@ -1,0 +1,224 @@
+#include "parabb/verify/certificate_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "parabb/sched/schedule_io.hpp"
+
+namespace parabb {
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& msg) {
+  throw std::runtime_error("certificate parse error at line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+/// Splits "key=value", failing when the key differs from `key`.
+std::string attr_value(const std::string& token, const char* key,
+                       int line) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0)
+    parse_fail(line, "expected " + prefix + "..., got " + token);
+  return token.substr(prefix.size());
+}
+
+long long parse_int(const std::string& value, int line) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) parse_fail(line, "bad integer: " + value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    parse_fail(line, "bad integer: " + value);
+  } catch (const std::out_of_range&) {
+    parse_fail(line, "integer out of range: " + value);
+  }
+}
+
+long long int_attr(const std::string& token, const char* key, int line) {
+  return parse_int(attr_value(token, key, line), line);
+}
+
+std::uint64_t parse_hex(const std::string& value, int line) {
+  if (value.empty()) parse_fail(line, "empty fingerprint");
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(value.c_str(), &end, 16);
+  if (end != value.c_str() + value.size())
+    parse_fail(line, "bad fingerprint: " + value);
+  return v;
+}
+
+}  // namespace
+
+std::string certificate_to_text(const Certificate& cert,
+                                const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "# parabb optimality certificate: " << cert.cuts.size()
+     << " cuts\n";
+  char br_buf[64];
+  std::snprintf(br_buf, sizeof br_buf, "%.17g", cert.br);
+  os << "cert tasks=" << cert.task_count << " procs=" << cert.procs
+     << " lb=" << cert.lb_kind << " branch="
+     << (cert.branch_complete ? "complete" : "approx") << " br=" << br_buf
+     << '\n';
+  if (!cert.params_summary.empty()) {
+    os << "summary " << cert.params_summary << '\n';
+  }
+  os << "result found=" << (cert.found ? 1 : 0) << " cost=" << cert.cost
+     << " complete=" << (cert.complete ? 1 : 0)
+     << " truncated=" << (cert.truncated ? 1 : 0)
+     << " expanded=" << cert.expanded << " generated=" << cert.generated
+     << '\n';
+  if (cert.found) {
+    for (TaskId t = 0; t < cert.incumbent.task_count(); ++t) {
+      const ScheduledTask& e = cert.incumbent.entry(t);
+      os << "sched " << graph.task(t).name << " proc=" << e.proc
+         << " start=" << e.start << " finish=" << e.finish << '\n';
+    }
+  }
+  for (const CutRecord& rec : cert.cuts) {
+    char fp_buf[32];
+    std::snprintf(fp_buf, sizeof fp_buf, "%016llx",
+                  static_cast<unsigned long long>(rec.fingerprint));
+    os << "cut " << to_string(rec.rule) << " fp=" << fp_buf
+       << " bound=" << rec.claimed_bound << " path=";
+    for (std::size_t i = 0; i < rec.path.size(); ++i) {
+      if (i > 0) os << ',';
+      os << rec.path[i].task << ':' << rec.path[i].proc << ':'
+         << rec.path[i].start;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Certificate certificate_from_text(const std::string& text,
+                                  const TaskGraph& graph) {
+  Certificate cert;
+  bool saw_header = false;
+  bool saw_result = false;
+  std::string sched_block;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+
+    if (kind == "cert") {
+      std::string tasks, procs, lb, branch, br;
+      if (!(ls >> tasks >> procs >> lb >> branch >> br))
+        parse_fail(lineno, "cert needs: tasks= procs= lb= branch= br=");
+      cert.task_count =
+          static_cast<int>(int_attr(tasks, "tasks", lineno));
+      cert.procs = static_cast<int>(int_attr(procs, "procs", lineno));
+      cert.lb_kind = static_cast<int>(int_attr(lb, "lb", lineno));
+      const std::string b = attr_value(branch, "branch", lineno);
+      if (b != "complete" && b != "approx")
+        parse_fail(lineno, "branch must be complete|approx, got " + b);
+      cert.branch_complete = b == "complete";
+      const std::string br_val = attr_value(br, "br", lineno);
+      char* end = nullptr;
+      cert.br = std::strtod(br_val.c_str(), &end);
+      if (end != br_val.c_str() + br_val.size())
+        parse_fail(lineno, "bad br value: " + br_val);
+      saw_header = true;
+    } else if (kind == "summary") {
+      std::string rest;
+      std::getline(ls >> std::ws, rest);
+      cert.params_summary = rest;
+    } else if (kind == "result") {
+      std::string found, cost, complete, truncated, expanded, generated;
+      if (!(ls >> found >> cost >> complete >> truncated >> expanded >>
+            generated))
+        parse_fail(lineno,
+                   "result needs: found= cost= complete= truncated= "
+                   "expanded= generated=");
+      cert.found = int_attr(found, "found", lineno) != 0;
+      cert.cost = int_attr(cost, "cost", lineno);
+      cert.complete = int_attr(complete, "complete", lineno) != 0;
+      cert.truncated = int_attr(truncated, "truncated", lineno) != 0;
+      cert.expanded =
+          static_cast<std::uint64_t>(int_attr(expanded, "expanded", lineno));
+      cert.generated = static_cast<std::uint64_t>(
+          int_attr(generated, "generated", lineno));
+      saw_result = true;
+    } else if (kind == "sched") {
+      // Collected verbatim and handed to schedule_from_text below, so the
+      // incumbent parses exactly like a standalone schedule file.
+      sched_block += line;
+      sched_block += '\n';
+    } else if (kind == "cut") {
+      std::string rule, fp, bound, path;
+      if (!(ls >> rule >> fp >> bound >> path))
+        parse_fail(lineno, "cut needs: <rule> fp= bound= path=");
+      CutRecord rec;
+      try {
+        rec.rule = cut_rule_from_string(rule);
+      } catch (const std::exception& e) {
+        parse_fail(lineno, e.what());
+      }
+      rec.fingerprint = parse_hex(attr_value(fp, "fp", lineno), lineno);
+      rec.claimed_bound = int_attr(bound, "bound", lineno);
+      const std::string path_val = attr_value(path, "path", lineno);
+      std::size_t pos = 0;
+      while (pos < path_val.size()) {
+        std::size_t comma = path_val.find(',', pos);
+        if (comma == std::string::npos) comma = path_val.size();
+        const std::string item = path_val.substr(pos, comma - pos);
+        const std::size_t c1 = item.find(':');
+        const std::size_t c2 =
+            c1 == std::string::npos ? std::string::npos
+                                    : item.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+          parse_fail(lineno, "bad path item: " + item);
+        CutPlacement pl;
+        pl.task =
+            static_cast<TaskId>(parse_int(item.substr(0, c1), lineno));
+        pl.proc = static_cast<ProcId>(
+            parse_int(item.substr(c1 + 1, c2 - c1 - 1), lineno));
+        pl.start = parse_int(item.substr(c2 + 1), lineno);
+        rec.path.push_back(pl);
+        pos = comma + 1;
+      }
+      cert.cuts.push_back(std::move(rec));
+    } else {
+      parse_fail(lineno, "unknown record: " + kind);
+    }
+  }
+
+  if (!saw_header) throw std::runtime_error("certificate has no cert line");
+  if (!saw_result)
+    throw std::runtime_error("certificate has no result line");
+  if (cert.found) {
+    cert.incumbent = schedule_from_text(sched_block, graph);
+  } else if (!sched_block.empty()) {
+    throw std::runtime_error(
+        "certificate has sched lines but result says found=0");
+  }
+  return cert;
+}
+
+void save_certificate(const Certificate& cert, const TaskGraph& graph,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << certificate_to_text(cert, graph);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Certificate load_certificate(const std::string& path,
+                             const TaskGraph& graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return certificate_from_text(buf.str(), graph);
+}
+
+}  // namespace parabb

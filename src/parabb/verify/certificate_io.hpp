@@ -1,0 +1,39 @@
+// Certificate serialization: a line-oriented text format so certificates
+// travel next to their TGF graphs and schedule files (docs/formats.md).
+//
+//   # comments and blank lines ignored
+//   cert tasks=<n> procs=<m> lb=<0|1|2> branch=<complete|approx> br=<real>
+//   summary <free text, informational>
+//   result found=<0|1> cost=<int> complete=<0|1> truncated=<0|1>
+//          expanded=<u64> generated=<u64>            (one line)
+//   sched <task-name> proc=<int> start=<int> finish=<int>   (incumbent,
+//          schedule_io format, one line per task when found=1)
+//   cut <rule> fp=<hex> bound=<int> path=<task>:<proc>:<start>,...
+//
+// Reading resolves the incumbent against a graph via schedule_from_text,
+// so tampered schedule lines fail exactly like a corrupt schedule file.
+#pragma once
+
+#include <string>
+
+#include "parabb/taskgraph/graph.hpp"
+#include "parabb/verify/certificate.hpp"
+
+namespace parabb {
+
+/// Serializes `cert` using `graph`'s task names for the incumbent.
+std::string certificate_to_text(const Certificate& cert,
+                                const TaskGraph& graph);
+
+/// Parses a certificate document against `graph`. Throws
+/// std::runtime_error with a line-numbered message on malformed input.
+Certificate certificate_from_text(const std::string& text,
+                                  const TaskGraph& graph);
+
+/// Convenience file wrappers.
+void save_certificate(const Certificate& cert, const TaskGraph& graph,
+                      const std::string& path);
+Certificate load_certificate(const std::string& path,
+                             const TaskGraph& graph);
+
+}  // namespace parabb

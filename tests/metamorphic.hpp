@@ -1,0 +1,121 @@
+// Optimal-lateness-preserving transforms for the metamorphic suite
+// (test_metamorphic.cpp). Each transform maps a scheduling instance to a
+// new one whose optimal maximum lateness is *predictable* from the
+// original's — so any solver configuration can be cross-checked against
+// itself without an external oracle:
+//
+//   scaled_times(g, k)          opt' = k * opt    (every time quantity xk)
+//   translated_deadlines(g, d)  opt' = opt - d    (slack +d on every task)
+//   relabeled_tasks(g, perm)    opt' = opt        (vertex ids permuted)
+//   renamed_procs(m, perm)      opt' = opt        (hop matrix permuted)
+//   serialization to m=1        opt_1 >= opt_m    (processor sets nest)
+//
+// The last relation is an inequality, not an equality, so it lives in the
+// test itself rather than here.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "parabb/platform/machine.hpp"
+#include "parabb/platform/topology.hpp"
+#include "parabb/support/assert.hpp"
+#include "parabb/support/rng.hpp"
+#include "parabb/taskgraph/graph.hpp"
+
+namespace parabb::test {
+
+/// Multiplies every time quantity (execution, phase, relative deadline,
+/// period, message items) by `k` > 0. Any schedule of the original maps to
+/// a schedule of the image with every start/finish multiplied by k, and
+/// vice versa, so the optimal maximum lateness is exactly k times the
+/// original's.
+inline TaskGraph scaled_times(const TaskGraph& g, Time k) {
+  PARABB_ASSERT(k > 0);
+  TaskGraph out;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    Task task = g.task(t);
+    task.exec *= k;
+    task.phase *= k;
+    task.rel_deadline *= k;
+    task.period *= k;
+    out.add_task(std::move(task));
+  }
+  for (const Channel& c : g.arcs()) out.add_arc(c.from, c.to, c.items * k);
+  return out;
+}
+
+/// Adds `d` to every relative deadline. The schedule space is untouched
+/// (arrivals, executions and communication are unchanged), and every
+/// task's lateness under every schedule drops by exactly d — so the
+/// optimal maximum lateness drops by exactly d.
+inline TaskGraph translated_deadlines(const TaskGraph& g, Time d) {
+  TaskGraph out;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    Task task = g.task(t);
+    task.rel_deadline += d;
+    out.add_task(std::move(task));
+  }
+  for (const Channel& c : g.arcs()) out.add_arc(c.from, c.to, c.items);
+  return out;
+}
+
+/// Arc-preserving vertex relabeling: task `t` of the original becomes task
+/// `perm[t]` of the image (names ride along, so schedules remain
+/// comparable by name). A pure reindexing of the same instance — the
+/// optimal maximum lateness is unchanged, whatever internal orderings
+/// (topological ranks, tie-breaks, Zobrist keys) the solver derives from
+/// the ids.
+inline TaskGraph relabeled_tasks(const TaskGraph& g,
+                                 const std::vector<TaskId>& perm) {
+  PARABB_ASSERT(static_cast<int>(perm.size()) == g.task_count());
+  std::vector<TaskId> inverse(perm.size(), kNoTask);
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    inverse[static_cast<std::size_t>(perm[static_cast<std::size_t>(t)])] = t;
+  }
+  TaskGraph out;
+  for (std::size_t slot = 0; slot < inverse.size(); ++slot) {
+    PARABB_ASSERT(inverse[slot] != kNoTask);
+    out.add_task(g.task(inverse[slot]));
+  }
+  for (const Channel& c : g.arcs()) {
+    out.add_arc(perm[static_cast<std::size_t>(c.from)],
+                perm[static_cast<std::size_t>(c.to)], c.items);
+  }
+  return out;
+}
+
+/// Processor renaming: processor `p` of the original becomes `perm[p]` of
+/// the image. Processors are identical, so only the interconnect's hop
+/// matrix carries identity — the image gets a custom topology with
+/// hops'(perm[p], perm[q]) = hops(p, q). Optimal maximum lateness is
+/// unchanged; only the processor labels in the optimal schedule permute.
+inline Machine renamed_procs(const Machine& m,
+                             const std::vector<ProcId>& perm) {
+  PARABB_ASSERT(static_cast<int>(perm.size()) == m.procs);
+  const auto n = static_cast<std::size_t>(m.procs);
+  std::vector<std::vector<int>> hops(n, std::vector<int>(n, 0));
+  for (ProcId p = 0; p < m.procs; ++p) {
+    for (ProcId q = 0; q < m.procs; ++q) {
+      hops[static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])]
+          [static_cast<std::size_t>(perm[static_cast<std::size_t>(q)])] =
+              m.hops(p, q);
+    }
+  }
+  Machine out;
+  out.procs = m.procs;
+  out.comm = m.comm;
+  out.topology = NetworkTopology::custom(std::move(hops), "renamed");
+  return out;
+}
+
+/// Uniformly random permutation of [0, n) as a vector of ids.
+template <typename Id>
+inline std::vector<Id> random_perm(int n, Rng& rng) {
+  std::vector<Id> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = Id(i);
+  rng.shuffle(std::span<Id>(perm));
+  return perm;
+}
+
+}  // namespace parabb::test

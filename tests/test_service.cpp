@@ -16,6 +16,8 @@
 #include "parabb/service/protocol.hpp"
 #include "parabb/support/assert.hpp"
 #include "parabb/taskgraph/io.hpp"
+#include "parabb/verify/certificate_io.hpp"
+#include "parabb/verify/verifier.hpp"
 #include "parabb/workload/generator.hpp"
 
 namespace parabb {
@@ -419,6 +421,114 @@ TEST(Protocol, RejectsBadRequests) {
                std::runtime_error);  // unknown spelling
   EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"bogus\\n\"}"),
                std::runtime_error);  // TGF error surfaces
+}
+
+TEST(Protocol, RejectsTruncatedJson) {
+  // A line cut mid-flight (dropped connection, partial write) must fail
+  // as a parse error, not be half-interpreted.
+  const std::string full =
+      "{\"id\":\"r1\",\"graph\":\"task a exec=3\\n\",\"procs\":2}";
+  for (const std::size_t keep :
+       {std::size_t{5}, std::size_t{12}, std::size_t{25}, full.size() - 1}) {
+    EXPECT_THROW(request_from_json(full.substr(0, keep)),
+                 std::runtime_error)
+        << "prefix of " << keep << " bytes parsed";
+  }
+}
+
+TEST(Protocol, RejectsUnknownFields) {
+  // Typos must not be silently ignored: {"thread":4} is an error, not a
+  // surprising sequential solve.
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\",\"thread\":4}"),
+               std::runtime_error);
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\",\"bogus\":true}"),
+               std::runtime_error);
+  // ... including inside the budget object.
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\",\"budget\":{\"wallms\":9}}"),
+               std::runtime_error);
+  try {
+    request_from_json(
+        "{\"id\":\"x\",\"graph\":\"task a exec=1\\n\",\"thread\":4}");
+    FAIL() << "unknown field accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("thread"), std::string::npos)
+        << e.what();  // the message names the offending field
+  }
+}
+
+TEST(Protocol, RejectsOversizedLines) {
+  // Build a syntactically plausible line past the cap; the rejection must
+  // happen before JSON parsing even starts.
+  std::string line = "{\"id\":\"big\",\"graph\":\"";
+  line.append(kMaxRequestLineBytes, 'x');
+  line += "\"}";
+  try {
+    request_from_json(line);
+    FAIL() << "oversized line accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Protocol, CertifyFieldParsesAndDefaultsOff) {
+  EXPECT_FALSE(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\"}")
+                   .certify);
+  EXPECT_TRUE(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                "exec=1\\n\",\"certify\":true}")
+                  .certify);
+  EXPECT_THROW(request_from_json("{\"id\":\"x\",\"graph\":\"task a "
+                                 "exec=1\\n\",\"certify\":1}"),
+               std::runtime_error);  // must be a bool
+}
+
+TEST(Service, CertifiedJobCarriesAVerifiableCertificate) {
+  JobRequest req = demo_request("cert");
+  req.certify = true;
+  SolverService service({.workers = 1});
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_EQ(r.outcome, JobOutcome::kOptimal);
+  ASSERT_FALSE(r.certificate.empty());
+
+  // The response-embedded certificate checks out against the instance.
+  const TaskGraph g = demo_graph();
+  const Certificate cert = certificate_from_text(r.certificate, g);
+  const VerifyReport report =
+      verify_certificate(g, demo_request("cert").machine, cert);
+  EXPECT_TRUE(report.certified) << report.summary();
+
+  // And it rides the JSONL response as a "certificate" member.
+  const std::string line = response_to_json(r, g);
+  EXPECT_NE(line.find("\"certificate\":"), std::string::npos);
+
+  // Plain jobs carry none.
+  const JobResult plain = service.wait(service.submit(demo_request("p")));
+  EXPECT_TRUE(plain.certificate.empty());
+  EXPECT_EQ(response_to_json(plain, g).find("\"certificate\""),
+            std::string::npos);
+}
+
+TEST(Service, CertifyFlagIsACacheKeyDimension) {
+  // A plain cached result must never satisfy a certify request: the
+  // certificate cannot be conjured after the fact.
+  SolverService service({.workers = 1});
+  (void)service.wait(service.submit(demo_request("plain")));
+  JobRequest req = demo_request("certified");
+  req.certify = true;
+  const JobResult r = service.wait(service.submit(std::move(req)));
+  EXPECT_FALSE(r.cached);
+  EXPECT_FALSE(r.certificate.empty());
+
+  // Repeat certify requests *do* hit the cache, certificate included.
+  JobRequest again = demo_request("again");
+  again.certify = true;
+  const JobResult hit = service.wait(service.submit(std::move(again)));
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.certificate, r.certificate);
 }
 
 TEST(Protocol, ResponseFieldOrderIsFixed) {

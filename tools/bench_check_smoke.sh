@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_check_smoke.sh <bench-binary> <baseline.json> <scratch.json>
+#
+# Runs one tiny iteration of a benchmark binary with JSON output and checks
+# the result against its checked-in baseline with bench_check.py
+# --structure-only. Structure-only keeps container timing noise out of the
+# ctest gate while still failing the moment a benchmark is added, removed,
+# or renamed without regenerating bench/baselines/ (docs/testing.md).
+#
+# The output flavor is picked from the binary's CLI: google-benchmark
+# binaries take --benchmark_out, the repo's own harnesses take --json.
+set -eu
+
+bench=$1
+baseline=$2
+scratch=$3
+tools_dir=$(dirname "$0")
+
+case $baseline in
+  *micro_lower_bound*)
+    "$bench" --quick --json "$scratch" > /dev/null
+    ;;
+  *)
+    "$bench" --benchmark_min_time=0.001 \
+             --benchmark_out="$scratch" \
+             --benchmark_out_format=json > /dev/null
+    ;;
+esac
+
+exec python3 "$tools_dir/bench_check.py" --structure-only \
+    "$scratch" "$baseline"

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Certificate round-trip smoke test: solve the demo instance with
+# certificate emission, check the certificate with the independent
+# verifier, then tamper with the incumbent and confirm the verifier
+# rejects the corrupted file.
+#
+# The tamper prefixes a "9" to the first schedule line's start= value, so
+# the recorded finish no longer matches start + exec — a deterministic
+# structural failure regardless of the instance.
+#
+# Usage: certify_smoke.sh <parabb_solve> <parabb_verify> <graph.tgf>
+set -eu
+solve=$1
+verify=$2
+graph=$3
+tmp="${TMPDIR:-/tmp}/certify_smoke.$$"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp"
+
+"$solve" "$graph" --procs 2 --certify "$tmp/run.cert" --quiet
+"$verify" "$graph" "$tmp/run.cert" --procs 2
+
+sed 's/start=/start=9/' "$tmp/run.cert" > "$tmp/tampered.cert"
+if "$verify" "$graph" "$tmp/tampered.cert" --procs 2 --quiet; then
+  echo "certify smoke: FAILED — tampered certificate accepted" >&2
+  exit 1
+fi
+echo "certify smoke: genuine certificate accepted, tampered rejected"

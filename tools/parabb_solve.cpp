@@ -31,6 +31,8 @@
 #include "parabb/support/cli.hpp"
 #include "parabb/support/table.hpp"
 #include "parabb/taskgraph/io.hpp"
+#include "parabb/verify/certificate.hpp"
+#include "parabb/verify/certificate_io.hpp"
 
 namespace {
 
@@ -91,6 +93,10 @@ int main(int argc, char** argv) {
   parser.add_option("slice-base", "laxity base: path | total", "path");
   parser.add_option("dot", "write Graphviz DOT of the graph here", "");
   parser.add_option("out", "write the schedule (text format) here", "");
+  parser.add_option("certify",
+                    "write an optimality certificate here (bnb algos only; "
+                    "check it with parabb_verify)",
+                    "");
   parser.add_flag("gantt", "print an ASCII Gantt chart");
   parser.add_flag("quiet", "print only the final cost");
 
@@ -169,6 +175,9 @@ int main(int argc, char** argv) {
       budget.max_active_bytes =
           static_cast<std::size_t>(parser.get_int("max-memory"));
       apply_budget(params, budget, &g_interrupt);
+      const std::string cert_path = parser.get_string("certify");
+      CertificateBuilder builder;
+      if (!cert_path.empty()) params.certify = &builder;
       std::signal(SIGINT, handle_sigint);
 
       bool found = false;
@@ -196,6 +205,12 @@ int main(int argc, char** argv) {
         engine_info = std::to_string(r.threads_used) + " threads";
       }
       std::signal(SIGINT, SIG_DFL);
+
+      // Saved before the found check: an infeasible run's certificate is
+      // still meaningful (it records why the search came up empty).
+      if (!cert_path.empty()) {
+        save_certificate(builder.take(), graph, cert_path);
+      }
 
       const JobOutcome outcome = outcome_of(reason, found);
       if (!found) {
