@@ -9,6 +9,7 @@
 #include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/certify.hpp"
 #include "parabb/bnb/lower_bound.hpp"
+#include "parabb/bnb/search_obs.hpp"
 #include "parabb/bnb/trace.hpp"
 #include "parabb/bnb/transposition.hpp"
 #include "parabb/bnb/vertex.hpp"
@@ -79,6 +80,8 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   Stopwatch watch;
   SearchResult result;
   SearchStats& stats = result.stats;
+  SearchObs so;
+  so.bind(params.observe, /*channel=*/0);
 
   // --- Step 1-2: initialize with the upper-bound solution cost U. ---
   Time incumbent = kTimeInf;
@@ -171,6 +174,8 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     // so the checks (one relaxed load, one clock read) stay off the hot
     // path.
     if ((++iter & 0xFFu) == 0) {
+      so.budget_checkpoint(static_cast<std::int64_t>(stats.generated));
+      so.flush(stats);
       if (params.cancel && params.cancel->cancelled()) {
         result.reason = TerminationReason::kCancelled;
         break;
@@ -203,6 +208,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           }
           pool.release(e.ref);
           ++stats.pruned_active;
+          so.prune(FlightPruneRule::kBound, -1, e.lb);
           continue;
         }
       }
@@ -213,6 +219,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         static_cast<const Vertex*>(pool.get(entry.ref))->state;
     pool.release(entry.ref);
     ++stats.expanded;
+    so.expand(parent.count(), entry.lb);
     if (params.trace) {
       params.trace->record(TraceEvent::kExpand, parent.count(), entry.lb);
     }
@@ -272,6 +279,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         } else if (params.characteristic &&
                    !params.characteristic(ctx, cur)) {
           ++stats.pruned_children;  // F: cannot extend to a valid solution
+          so.prune(FlightPruneRule::kCharacteristic, child_count, lb);
           if (params.trace) {
             params.trace->record(TraceEvent::kPruneChild, child_count, lb);
           }
@@ -281,6 +289,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           }
         } else if (params.elim == ElimRule::kUDBAS && lb >= threshold) {
           ++stats.pruned_children;  // E applied to DB
+          so.prune(FlightPruneRule::kBound, child_count, lb);
           if (params.trace) {
             params.trace->record(TraceEvent::kPruneChild, child_count, lb);
           }
@@ -291,6 +300,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           }
         } else if (tt && tt->seen_or_insert(cur, lb)) {
           ++stats.pruned_children;  // duplicate of an already-seen state
+          so.prune(FlightPruneRule::kTransposition, child_count, lb);
           if (params.trace) {
             params.trace->record(TraceEvent::kTransposition, child_count,
                                  lb);
@@ -321,6 +331,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
       result.found_solution = true;
       ++stats.goal_updates;
       improved = true;
+      so.incumbent(ctx.task_count(), incumbent);
       if (params.trace) {
         params.trace->record(TraceEvent::kIncumbent, ctx.task_count(),
                              incumbent);
@@ -348,6 +359,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           staged[w++] = staged[i];
         } else {
           ++stats.pruned_children;
+          so.prune(FlightPruneRule::kDominance, child_count, staged[i].lb);
           if (params.trace) {
             params.trace->record(TraceEvent::kPruneChild, child_count,
                                  staged[i].lb);
@@ -372,6 +384,10 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
       const std::size_t removed = as.prune_worse(fresh);
       certify_releases = false;
       stats.pruned_active += removed;
+      if (removed > 0) {
+        so.prune(FlightPruneRule::kBound, -1,
+                 static_cast<std::int64_t>(removed));
+      }
       if (params.trace && removed > 0) {
         params.trace->record(TraceEvent::kPruneActive, -1,
                              static_cast<Time>(removed));
@@ -380,6 +396,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
       std::erase_if(staged, [&](const StagedChild& c) {
         if (c.lb < fresh) return false;
         ++stats.pruned_children;
+        so.prune(FlightPruneRule::kBound, child_count, c.lb);
         if (params.trace) {
           params.trace->record(TraceEvent::kPruneChild, child_count, c.lb);
         }
@@ -425,6 +442,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
       const std::size_t dropped =
           as.dispose_worst(std::min(excess, as.size() - 1));
       stats.disposed += dropped;
+      so.dispose(static_cast<std::int64_t>(dropped));
       compromised = true;
       if (params.trace) {
         params.trace->record(TraceEvent::kDispose, -1,
@@ -464,6 +482,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     stats.tt_collisions = tc.collisions;
   }
   stats.seconds = watch.seconds();
+  so.flush(stats);  // final deltas, incl. the tt_* fields set just above
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/certify.hpp"
 #include "parabb/bnb/lower_bound.hpp"
+#include "parabb/bnb/search_obs.hpp"
 #include "parabb/bnb/transposition.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
@@ -100,7 +101,7 @@ struct Shared {
   }
 
   void offer_goal(const PartialSchedule& state, Time cost,
-                  SearchStats& stats) {
+                  SearchStats& stats, SearchObs& so) {
     if (cost >= incumbent.load(std::memory_order_relaxed)) return;
     const std::lock_guard lock(best_mutex);
     if (cost >= incumbent.load(std::memory_order_relaxed)) return;
@@ -108,6 +109,7 @@ struct Shared {
     best_state = state;
     found = true;
     ++stats.goal_updates;
+    so.incumbent(ctx.task_count(), cost);
   }
 };
 
@@ -141,8 +143,9 @@ InlineVector<TaskId, kMaxTasks> branch_tasks(const SchedContext& ctx,
 /// Zero-copy: candidates are evaluated via place → bound → unplace on one
 /// scratch state; only survivors are copied into `out`.
 void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
-            std::vector<WorkItem>& out, SearchStats& stats) {
+            std::vector<WorkItem>& out, SearchStats& stats, SearchObs& so) {
   ++stats.expanded;
+  so.expand(item.state.count(), item.lb);
   const Time threshold = sh.threshold();
   const std::size_t base = out.size();
   // Goal children need their exact cost (offer_goal compares it to the
@@ -166,16 +169,18 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
                           : lower_bound_cost(sh.ctx, cur, sh.params.lb);
       if (goal_children) {
         ++stats.goals;
-        sh.offer_goal(cur, lb, stats);
+        sh.offer_goal(cur, lb, stats, so);
       } else if (sh.params.characteristic &&
                  !sh.params.characteristic(sh.ctx, cur)) {
         ++stats.pruned_children;
+        so.prune(FlightPruneRule::kCharacteristic, cur.count(), lb);
         if (sh.params.certify) {
           sh.params.certify->record_cut(sh.ctx, cur,
                                         CutRule::kCharacteristic, lb);
         }
       } else if (sh.params.elim == ElimRule::kUDBAS && lb >= threshold) {
         ++stats.pruned_children;
+        so.prune(FlightPruneRule::kBound, cur.count(), lb);
         if (sh.params.certify) {
           sh.params.certify->record_cut(
               sh.ctx, cur,
@@ -183,6 +188,7 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
         }
       } else if (sh.tt && sh.tt->seen_or_insert(cur, lb)) {
         ++stats.pruned_children;  // duplicate: another worker owns this state
+        so.prune(FlightPruneRule::kTransposition, cur.count(), lb);
         if (sh.params.certify) {
           sh.params.certify->record_cut(sh.ctx, cur,
                                         CutRule::kTransposition, lb);
@@ -205,9 +211,10 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
 
 /// Worker protocol: `idle` counts workers not holding work. The last worker
 /// to go idle with an empty queue declares the search done.
-void worker_loop(Shared& sh, SearchStats& stats) {
+void worker_loop(Shared& sh, SearchStats& stats, SearchObs& so) {
   std::vector<WorkItem> local;
   IncrementalLB inc(sh.ctx);  // private scratch: no shared mutable state
+  std::uint64_t iter = 0;
   for (;;) {
     {
       std::unique_lock lock(sh.queue_mutex);
@@ -216,6 +223,7 @@ void worker_loop(Shared& sh, SearchStats& stats) {
           sh.stop.load()) {
         sh.done = true;
         sh.queue_cv.notify_all();
+        so.flush(stats);
         return;
       }
       sh.queue_cv.wait(lock, [&] {
@@ -224,6 +232,7 @@ void worker_loop(Shared& sh, SearchStats& stats) {
       if (sh.done || sh.stop.load()) {
         sh.done = true;
         sh.queue_cv.notify_all();
+        so.flush(stats);
         return;
       }
       --sh.idle;
@@ -236,6 +245,7 @@ void worker_loop(Shared& sh, SearchStats& stats) {
     while (!local.empty()) {
       if (sh.should_stop()) {
         stats.disposed += local.size();  // abandoned by the early stop
+        so.dispose(static_cast<std::int64_t>(local.size()));
         local.clear();
         break;
       }
@@ -244,6 +254,7 @@ void worker_loop(Shared& sh, SearchStats& stats) {
       const Time pop_threshold = sh.threshold();
       if (sh.params.elim == ElimRule::kUDBAS && item.lb >= pop_threshold) {
         ++stats.pruned_active;
+        so.prune(FlightPruneRule::kBound, item.state.count(), item.lb);
         if (sh.params.certify) {
           sh.params.certify->record_cut(
               sh.ctx, item.state,
@@ -253,10 +264,17 @@ void worker_loop(Shared& sh, SearchStats& stats) {
         }
         continue;
       }
-      expand(sh, inc, item, local, stats);
+      expand(sh, inc, item, local, stats, so);
       stats.peak_active = std::max(stats.peak_active, local.size());
       stats.peak_memory_bytes = std::max(
           stats.peak_memory_bytes, local.capacity() * sizeof(WorkItem));
+      // Amortized metrics flush, mirroring the sequential engine's
+      // 256-expansion polling cadence.
+      if ((++iter & 0xFFu) == 0) {
+        so.budget_checkpoint(static_cast<std::int64_t>(
+            sh.generated.load(std::memory_order_relaxed)));
+        so.flush(stats);
+      }
 
       // Donate the shallowest half when the queue is dry and peers starve.
       if (local.size() >= 2 &&
@@ -274,19 +292,6 @@ void worker_loop(Shared& sh, SearchStats& stats) {
       }
     }
   }
-}
-
-void merge_stats(SearchStats& into, const SearchStats& s) {
-  into.expanded += s.expanded;
-  into.generated += s.generated;
-  into.activated += s.activated;
-  into.goals += s.goals;
-  into.goal_updates += s.goal_updates;
-  into.pruned_children += s.pruned_children;
-  into.pruned_active += s.pruned_active;
-  into.disposed += s.disposed;
-  into.peak_active += s.peak_active;  // approximate: sum of worker peaks
-  into.peak_memory_bytes += s.peak_memory_bytes;  // likewise
 }
 
 }  // namespace
@@ -330,7 +335,10 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   }
 
   // Seeding: breadth-first expansion until one frontier item per worker.
+  // Flight channel 0 belongs to this phase; workers use channels 1..N.
   SearchStats seed_stats;
+  SearchObs seed_so;
+  seed_so.bind(pp.base.observe, /*channel=*/0);
   {
     IncrementalLB seed_inc(ctx);
     std::deque<WorkItem> frontier;
@@ -347,6 +355,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       const Time seed_threshold = sh.threshold();
       if (pp.base.elim == ElimRule::kUDBAS && item.lb >= seed_threshold) {
         ++seed_stats.pruned_active;
+        seed_so.prune(FlightPruneRule::kBound, item.state.count(), item.lb);
         if (pp.base.certify) {
           pp.base.certify->record_cut(
               ctx, item.state,
@@ -356,7 +365,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
         continue;
       }
       buf.clear();
-      expand(sh, seed_inc, item, buf, seed_stats);
+      expand(sh, seed_inc, item, buf, seed_stats, seed_so);
       for (WorkItem& w : buf) frontier.push_back(std::move(w));
       seed_stats.peak_memory_bytes =
           std::max(seed_stats.peak_memory_bytes,
@@ -365,14 +374,21 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     for (WorkItem& w : frontier) sh.queue.push_back(std::move(w));
     sh.queue_hint.store(sh.queue.size());
   }
+  seed_so.flush(seed_stats);
 
   if (!sh.queue.empty()) {
     std::vector<SearchStats> per_thread(static_cast<std::size_t>(threads));
+    std::vector<SearchObs> per_obs(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      per_obs[static_cast<std::size_t>(i)].bind(
+          pp.base.observe, /*channel=*/static_cast<std::size_t>(i) + 1);
+    }
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int i = 0; i < threads; ++i) {
-      pool.emplace_back([&sh, &per_thread, i] {
-        worker_loop(sh, per_thread[static_cast<std::size_t>(i)]);
+      pool.emplace_back([&sh, &per_thread, &per_obs, i] {
+        worker_loop(sh, per_thread[static_cast<std::size_t>(i)],
+                    per_obs[static_cast<std::size_t>(i)]);
       });
     }
 
@@ -393,12 +409,16 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       }
     }
     for (auto& th : pool) th.join();
-    for (const SearchStats& s : per_thread) merge_stats(result.stats, s);
+    for (const SearchStats& s : per_thread) {
+      merge_search_stats(result.stats, s);
+    }
   }
-  merge_stats(result.stats, seed_stats);
+  merge_search_stats(result.stats, seed_stats);
   // Work left behind in the shared queue by an early stop was disposed of,
   // the same way worker-local leftovers are counted inside worker_loop.
-  if (sh.stop.load()) result.stats.disposed += sh.queue.size();
+  const std::uint64_t queue_disposed =
+      sh.stop.load() ? sh.queue.size() : 0;
+  result.stats.disposed += queue_disposed;
   const TerminationReason reason = sh.stop.load()
                                        ? sh.stop_reason.load()
                                        : TerminationReason::kExhausted;
@@ -426,6 +446,22 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     result.stats.tt_collisions = tc.collisions;
   }
   result.stats.seconds = watch.seconds();
+  // Workers and the seed phase flushed their own counters; publish the
+  // remainder that only exists post-merge (queue leftovers disposed by an
+  // early stop, shared-table totals).
+  if (pp.base.observe) {
+    SearchObs fin;
+    fin.bind(pp.base.observe, /*channel=*/0, /*with_flight=*/false);
+    SearchStats rem;
+    rem.disposed = queue_disposed;
+    rem.tt_hits = result.stats.tt_hits;
+    rem.tt_misses = result.stats.tt_misses;
+    rem.tt_evictions = result.stats.tt_evictions;
+    rem.tt_collisions = result.stats.tt_collisions;
+    rem.peak_active = result.stats.peak_active;
+    rem.peak_memory_bytes = result.stats.peak_memory_bytes;
+    fin.flush(rem);
+  }
   return result;
 }
 

@@ -17,6 +17,7 @@ namespace parabb {
 class SearchTrace;         // bnb/trace.hpp
 class CancelToken;         // bnb/cancel.hpp
 class CertificateBuilder;  // verify/certificate.hpp
+struct Observation;        // obs/observe.hpp
 
 /// S — vertex selection rule (§3.2).
 enum class SelectRule : std::uint8_t {
@@ -143,6 +144,16 @@ struct Params {
   /// The builder is thread-safe; the parallel engine's workers record
   /// into it concurrently.
   CertificateBuilder* certify = nullptr;
+
+  /// Optional observability sinks (obs/observe.hpp); not owned, may be
+  /// null (as may either member). Both engines honor it: counter deltas
+  /// are flushed to the metrics registry at the amortized poll points,
+  /// and search events (expand / prune / incumbent / budget / dispose)
+  /// stream into the flight recorder's per-worker rings. Unlike `trace`
+  /// and `certify`, observation is strictly read-beside: it never
+  /// disables the bound-aware LB short-circuit, so results — and the
+  /// search trajectory itself — are byte-identical with it on or off.
+  const Observation* observe = nullptr;
 };
 
 std::string to_string(SelectRule s);

@@ -1,0 +1,78 @@
+#include "parabb/bnb/search_obs.hpp"
+
+#include <span>
+#include <string>
+
+#include "parabb/obs/metrics.hpp"
+
+namespace parabb {
+
+const std::array<SearchStatsField, kSearchStatsFieldCount>
+    kSearchStatsFields = {{
+        {"expanded", &SearchStats::expanded},
+        {"generated", &SearchStats::generated},
+        {"activated", &SearchStats::activated},
+        {"goals", &SearchStats::goals},
+        {"goal_updates", &SearchStats::goal_updates},
+        {"pruned_children", &SearchStats::pruned_children},
+        {"pruned_active", &SearchStats::pruned_active},
+        {"disposed", &SearchStats::disposed},
+        {"tt_hits", &SearchStats::tt_hits},
+        {"tt_misses", &SearchStats::tt_misses},
+        {"tt_evictions", &SearchStats::tt_evictions},
+        {"tt_collisions", &SearchStats::tt_collisions},
+    }};
+
+void merge_search_stats(SearchStats& into, const SearchStats& from) {
+  std::array<std::uint64_t, kSearchStatsFieldCount + 2> dst;
+  std::array<std::uint64_t, kSearchStatsFieldCount + 2> src;
+  for (std::size_t i = 0; i < kSearchStatsFieldCount; ++i) {
+    dst[i] = into.*(kSearchStatsFields[i].member);
+    src[i] = from.*(kSearchStatsFields[i].member);
+  }
+  dst[kSearchStatsFieldCount] = into.peak_active;
+  src[kSearchStatsFieldCount] = from.peak_active;
+  dst[kSearchStatsFieldCount + 1] = into.peak_memory_bytes;
+  src[kSearchStatsFieldCount + 1] = from.peak_memory_bytes;
+  accumulate(std::span<std::uint64_t>(dst),
+             std::span<const std::uint64_t>(src));
+  for (std::size_t i = 0; i < kSearchStatsFieldCount; ++i) {
+    into.*(kSearchStatsFields[i].member) = dst[i];
+  }
+  into.peak_active = static_cast<std::size_t>(dst[kSearchStatsFieldCount]);
+  into.peak_memory_bytes =
+      static_cast<std::size_t>(dst[kSearchStatsFieldCount + 1]);
+}
+
+void SearchObs::bind(const Observation* obs, std::size_t channel,
+                     bool with_flight) {
+  if (!obs) return;
+  if (obs->metrics) {
+    for (std::size_t i = 0; i < kSearchStatsFieldCount; ++i) {
+      counters_[i] = obs->metrics->counter(
+          std::string("parabb_search_") + kSearchStatsFields[i].name +
+          "_total");
+    }
+    peak_active_ = obs->metrics->gauge("parabb_search_peak_active");
+    peak_memory_ = obs->metrics->gauge("parabb_search_peak_memory_bytes");
+    metrics_ = true;
+  }
+  if (with_flight && obs->recorder) {
+    flight_ = &obs->recorder->channel(channel);
+  }
+}
+
+void SearchObs::flush(const SearchStats& cur) {
+  if (!metrics_) return;
+  for (std::size_t i = 0; i < kSearchStatsFieldCount; ++i) {
+    const std::uint64_t delta =
+        cur.*(kSearchStatsFields[i].member) -
+        last_.*(kSearchStatsFields[i].member);
+    if (delta != 0) counters_[i]->add(delta);
+  }
+  peak_active_->set_max(static_cast<std::int64_t>(cur.peak_active));
+  peak_memory_->set_max(static_cast<std::int64_t>(cur.peak_memory_bytes));
+  last_ = cur;
+}
+
+}  // namespace parabb

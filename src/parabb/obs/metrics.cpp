@@ -1,0 +1,328 @@
+#include "parabb/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "parabb/support/assert.hpp"
+#include "parabb/support/json.hpp"
+
+namespace parabb {
+
+namespace obs_detail {
+
+std::size_t this_thread_shard() noexcept {
+  // One atomic round-robin assignment per thread lifetime: consecutive
+  // threads land on consecutive shards, so a k-worker engine uses k
+  // distinct cache lines (hashing thread ids can collide at small k).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace obs_detail
+
+void accumulate(std::span<std::uint64_t> dst,
+                std::span<const std::uint64_t> src) noexcept {
+  PARABB_ASSERT(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    const std::uint64_t v = s.value.load(std::memory_order_relaxed);
+    accumulate({&total, 1}, {&v, 1});
+  }
+  return total;
+}
+
+void Gauge::set_max(std::int64_t v) noexcept {
+  std::int64_t cur = value_.load(std::memory_order_relaxed);
+  while (v > cur && !value_.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  PARABB_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  PARABB_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  cells_ = std::vector<obs_detail::ShardSlot>(kMetricShards *
+                                              (bounds_.size() + 1));
+}
+
+void Histogram::observe(double v) noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v,
+                       [](double a, double b) { return a <= b; }) -
+      bounds_.begin());
+  const std::size_t shard = obs_detail::this_thread_shard();
+  cells_[shard * (bounds_.size() + 1) + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  auto& sum = sums_[shard].value;
+  double cur = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  const std::size_t n = bounds_.size() + 1;
+  std::vector<std::uint64_t> out(n, 0);
+  std::vector<std::uint64_t> row(n);
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (std::size_t b = 0; b < n; ++b) {
+      row[b] = cells_[shard * n + b].value.load(std::memory_order_relaxed);
+    }
+    accumulate(out, row);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets()) total += b;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t MetricsSnapshot::HistogramSample::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  return total;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const CounterSample& c : other.counters) {
+    auto it = std::lower_bound(
+        counters.begin(), counters.end(), c,
+        [](const CounterSample& a, const CounterSample& b) {
+          return a.name < b.name;
+        });
+    if (it != counters.end() && it->name == c.name) {
+      accumulate({&it->value, 1}, {&c.value, 1});
+    } else {
+      counters.insert(it, c);
+    }
+  }
+  for (const GaugeSample& g : other.gauges) {
+    auto it = std::lower_bound(gauges.begin(), gauges.end(), g,
+                               [](const GaugeSample& a, const GaugeSample& b) {
+                                 return a.name < b.name;
+                               });
+    if (it != gauges.end() && it->name == g.name) {
+      it->value += g.value;
+    } else {
+      gauges.insert(it, g);
+    }
+  }
+  for (const HistogramSample& h : other.histograms) {
+    auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), h,
+        [](const HistogramSample& a, const HistogramSample& b) {
+          return a.name < b.name;
+        });
+    if (it != histograms.end() && it->name == h.name) {
+      PARABB_REQUIRE(it->bounds == h.bounds,
+                     "cannot merge histograms with different bounds");
+      accumulate(it->buckets, h.buckets);
+      it->sum += h.sum;
+    } else {
+      histograms.insert(it, h);
+    }
+  }
+}
+
+const MetricsSnapshot::CounterSample* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  for (const CounterSample& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeSample* MetricsSnapshot::find_gauge(
+    const std::string& name) const {
+  for (const GaugeSample& g : gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramSample* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const HistogramSample& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue out = JsonValue::object();
+  JsonValue cs = JsonValue::object();
+  for (const CounterSample& c : counters) cs.set(c.name, c.value);
+  out.set("counters", std::move(cs));
+  JsonValue gs = JsonValue::object();
+  for (const GaugeSample& g : gauges) gs.set(g.name, g.value);
+  out.set("gauges", std::move(gs));
+  JsonValue hs = JsonValue::object();
+  for (const HistogramSample& h : histograms) {
+    JsonValue one = JsonValue::object();
+    JsonValue bounds = JsonValue::array();
+    for (const double b : h.bounds) bounds.push_back(b);
+    one.set("bounds", std::move(bounds));
+    JsonValue buckets = JsonValue::array();
+    for (const std::uint64_t b : h.buckets) buckets.push_back(b);
+    one.set("buckets", std::move(buckets));
+    one.set("sum", h.sum);
+    one.set("count", h.count());
+    hs.set(h.name, std::move(one));
+  }
+  out.set("histograms", std::move(hs));
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only; anything else is
+/// rewritten to '_' so a registry with exotic names still exposes cleanly
+/// (the JSON form keeps the exact name).
+std::string prom_name(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string fmt_prom_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const CounterSample& c : counters) {
+    const std::string n = prom_name(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const GaugeSample& g : gauges) {
+    const std::string n = prom_name(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + ' ' + std::to_string(g.value) + '\n';
+  }
+  for (const HistogramSample& h : histograms) {
+    const std::string n = prom_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += n + "_bucket{le=\"" + fmt_prom_double(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    cumulative += h.buckets.back();
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + '\n';
+    out += n + "_sum " + fmt_prom_double(h.sum) + '\n';
+    out += n + "_count " + std::to_string(cumulative) + '\n';
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  PARABB_REQUIRE(!gauges_.count(name) && !histograms_.count(name),
+                 "metric name already registered with another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  PARABB_REQUIRE(!counters_.count(name) && !histograms_.count(name),
+                 "metric name already registered with another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard lock(mutex_);
+  PARABB_REQUIRE(!counters_.count(name) && !gauges_.count(name),
+                 "metric name already registered with another kind");
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else {
+    PARABB_REQUIRE(slot->bounds() == upper_bounds,
+                   "histogram re-registered with different bounds");
+  }
+  return slot.get();
+}
+
+MetricsRegistry::CollectorId MetricsRegistry::add_collector(
+    std::function<void(MetricsRegistry&)> fn) {
+  const std::lock_guard lock(mutex_);
+  const CollectorId id = next_collector_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(CollectorId id) {
+  // Taking the run mutex first guarantees no copied collector is still
+  // executing (or about to execute) once removal returns.
+  const std::lock_guard run_lock(collector_run_mutex_);
+  const std::lock_guard lock(mutex_);
+  collectors_.erase(id);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  // Collectors run outside the registry lock: they update (and may
+  // register) metrics through the normal API. The run mutex spans the
+  // copy and the calls so remove_collector can wait them out.
+  {
+    const std::lock_guard run_lock(collector_run_mutex_);
+    std::vector<std::function<void(MetricsRegistry&)>> collectors;
+    {
+      const std::lock_guard lock(mutex_);
+      collectors.reserve(collectors_.size());
+      for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+    }
+    for (const auto& fn : collectors) fn(*this);
+  }
+
+  MetricsSnapshot snap;
+  const std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->bounds(), h->buckets(), h->sum()});
+  }
+  return snap;
+}
+
+}  // namespace parabb

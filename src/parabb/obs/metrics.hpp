@@ -1,0 +1,207 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with sharded per-thread accumulation and cheap snapshot/merge.
+//
+// Design goals (ISSUE 7 tentpole):
+//  * Near-zero update cost — a Counter::add is one relaxed fetch_add on a
+//    cache-line-private shard chosen by a cached thread-local index, so
+//    concurrent writers never bounce a line between cores.
+//  * Handles, not lookups, on the hot path — counter()/gauge()/histogram()
+//    resolve a name to a stable pointer once (mutex-guarded, cold); every
+//    later update is lock-free through the handle.
+//  * One merge implementation — every counter-style aggregation in the
+//    subsystem (summing a metric's shard slabs, MetricsSnapshot::merge,
+//    and the parallel engine's per-worker SearchStats reduction in
+//    bnb/search_obs.hpp) funnels through accumulate() below, so there is
+//    exactly one summation kernel to audit.
+//  * Pull-model gauges — collectors registered via add_collector() run at
+//    snapshot time, letting owners publish live depths (job queue, thread
+//    pool) without a write on their own hot paths.
+//
+// When observation is disabled the engines carry a null Observation
+// pointer and pay a predicted-not-taken branch per site; nothing here is
+// touched at all (see bnb/search_obs.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parabb {
+
+class JsonValue;
+
+/// Accumulation shards per metric. More shards than typical worker counts
+/// so two workers rarely hash to the same slot; each slot is its own
+/// cache line, so even a collision costs contention, not correctness.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace obs_detail {
+
+struct alignas(64) ShardSlot {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// This thread's shard index (stable for the thread's lifetime).
+std::size_t this_thread_shard() noexcept;
+
+}  // namespace obs_detail
+
+/// THE merge kernel: dst[i] += src[i]. Registry snapshots, snapshot
+/// merges, and the engines' SearchStats reduction all call this one
+/// implementation (spans must be the same length).
+void accumulate(std::span<std::uint64_t> dst,
+                std::span<const std::uint64_t> src) noexcept;
+
+/// Monotone counter, sharded per thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[obs_detail::this_thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum of all shards (relaxed; exact once writers are quiescent).
+  std::uint64_t value() const noexcept;
+
+ private:
+  std::array<obs_detail::ShardSlot, kMetricShards> shards_;
+};
+
+/// Last-write-wins instantaneous value, plus a monotone set_max variant
+/// for high-water marks published by concurrent workers.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if `v` is larger (CAS loop, cold path).
+  void set_max(std::int64_t v) noexcept;
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+/// bound satisfies `v <= bound` (Prometheus "le" semantics); samples above
+/// every bound land in the implicit +inf overflow bucket. Bucket counts
+/// are sharded like counters; the running sum is a per-shard CAS loop
+/// (histograms record per-job facts, never per-vertex ones).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<std::uint64_t> buckets() const;
+  std::uint64_t count() const;
+  double sum() const;
+
+ private:
+  struct alignas(64) SumSlot {
+    std::atomic<double> value{0.0};
+  };
+
+  std::vector<double> bounds_;  // strictly increasing
+  std::vector<obs_detail::ShardSlot> cells_;  // [shard][bucket] row-major
+  std::array<SumSlot, kMetricShards> sums_;
+};
+
+/// One sampled metric set, detachable from the registry that produced it.
+/// Metric vectors are sorted by name; merge() sums same-named counters,
+/// histograms, and gauges and unions the rest.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    double sum = 0.0;
+    std::uint64_t count() const noexcept;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  void merge(const MetricsSnapshot& other);
+
+  /// Lookup helpers (null when absent) — test and CLI convenience.
+  const CounterSample* find_counter(const std::string& name) const;
+  const GaugeSample* find_gauge(const std::string& name) const;
+  const HistogramSample* find_histogram(const std::string& name) const;
+
+  /// {"counters":{name:value,...},"gauges":{...},"histograms":{name:
+  /// {"bounds":[...],"buckets":[...],"sum":s,"count":n},...}} — names are
+  /// JSON-escaped by the writer, so arbitrary metric names round-trip.
+  JsonValue to_json() const;
+
+  /// Prometheus text exposition (counters as `# TYPE name counter`,
+  /// histograms as cumulative `name_bucket{le="..."}` series).
+  std::string to_prometheus() const;
+};
+
+/// Thread-safe name -> metric registry. Handles returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  using CollectorId = std::uint64_t;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the named metric. Re-registering an existing
+  /// name returns the same handle; registering a name that already names
+  /// a metric of another kind (or a histogram with different bounds)
+  /// throws precondition_error.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Registers a pull-model collector invoked at every snapshot() before
+  /// sampling (outside the registry lock — collectors may register and
+  /// update metrics freely, but must not call snapshot() themselves).
+  /// Owners must remove_collector() before their captured state dies;
+  /// removal blocks until no snapshot is mid-run, so once it returns the
+  /// collector will never fire again.
+  CollectorId add_collector(std::function<void(MetricsRegistry&)> fn);
+  void remove_collector(CollectorId id);
+
+  MetricsSnapshot snapshot();
+
+ private:
+  mutable std::mutex mutex_;
+  /// Serializes collector execution against remove_collector (held for
+  /// the whole copy-then-run phase of snapshot()).
+  std::mutex collector_run_mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<CollectorId, std::function<void(MetricsRegistry&)>> collectors_;
+  CollectorId next_collector_ = 1;
+};
+
+}  // namespace parabb

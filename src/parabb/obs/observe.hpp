@@ -1,0 +1,28 @@
+// Observation: the bundle of sinks an engine run publishes into, handed
+// to solve_bnb / solve_bnb_parallel via Params::observe.
+//
+// Both sinks are optional and independently nullable. Observation is
+// strictly read-beside: attaching one never changes what the search
+// explores or returns (tests/test_obs.cpp proves incumbents,
+// certificates, and schedules byte-identical with observe on vs off).
+#pragma once
+
+namespace parabb {
+
+class MetricsRegistry;  // obs/metrics.hpp
+class FlightRecorder;   // obs/recorder.hpp
+
+struct Observation {
+  /// Live counters (search_* metric family; see docs/observability.md).
+  /// Engines batch updates locally and flush deltas at their amortized
+  /// poll points, so a registry costs nothing per vertex.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Recent-event ring per worker, dumped on timeout/cancel to explain
+  /// where the budget went.
+  FlightRecorder* recorder = nullptr;
+
+  bool enabled() const noexcept { return metrics || recorder; }
+};
+
+}  // namespace parabb

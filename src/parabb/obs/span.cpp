@@ -1,0 +1,45 @@
+#include "parabb/obs/span.hpp"
+
+#include "parabb/support/json.hpp"
+
+namespace parabb {
+
+SpanLog::SpanLog(std::size_t max_spans) : max_spans_(max_spans) {}
+
+void SpanLog::record(std::string name, std::string tag, double start_s,
+                     double dur_s) {
+  const std::lock_guard lock(mutex_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(SpanRecord{std::move(name), std::move(tag), start_s,
+                              dur_s});
+}
+
+std::vector<SpanRecord> SpanLog::spans() const {
+  const std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::uint64_t SpanLog::dropped() const {
+  const std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::string SpanLog::to_jsonl() const {
+  const std::lock_guard lock(mutex_);
+  std::string out;
+  for (const SpanRecord& s : spans_) {
+    JsonValue line = JsonValue::object();
+    line.set("span", s.name);
+    if (!s.tag.empty()) line.set("tag", s.tag);
+    line.set("start_s", s.start_s);
+    line.set("dur_s", s.dur_s);
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace parabb

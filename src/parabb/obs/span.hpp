@@ -1,0 +1,86 @@
+// Span tracing: scoped timers around the coarse phases of a solve
+// (parse, context build, search, certify, serialize), collected into a
+// bounded log and emitted as JSONL — one object per span:
+//
+//   {"span":"search","tag":"job-7","start_s":0.001342,"dur_s":0.052108}
+//
+// Times are seconds since the log's construction (one monotonic epoch per
+// process), so spans from different threads order on a common axis.
+// Recording is mutex-guarded: spans fire a handful of times per job,
+// never on the search hot path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parabb/support/timer.hpp"
+
+namespace parabb {
+
+struct SpanRecord {
+  std::string name;
+  std::string tag;  ///< correlator (job id); may be empty
+  double start_s = 0.0;
+  double dur_s = 0.0;
+};
+
+class SpanLog {
+ public:
+  /// `max_spans` bounds memory; once full, further spans are counted in
+  /// dropped() but not retained.
+  explicit SpanLog(std::size_t max_spans = 1 << 16);
+
+  SpanLog(const SpanLog&) = delete;
+  SpanLog& operator=(const SpanLog&) = delete;
+
+  /// Seconds since the log's epoch (monotonic clock).
+  double now() const noexcept { return epoch_.seconds(); }
+
+  void record(std::string name, std::string tag, double start_s,
+              double dur_s);
+
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t dropped() const;
+
+  /// One JSON object per line, chronological by record order.
+  std::string to_jsonl() const;
+
+ private:
+  Stopwatch epoch_;
+  mutable std::mutex mutex_;
+  std::size_t max_spans_;
+  std::vector<SpanRecord> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII phase timer. A null log makes the span a no-op, so call sites
+/// need no conditionals. finish() closes the span early (idempotent).
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanLog* log, std::string name, std::string tag = {})
+      : log_(log), name_(std::move(name)), tag_(std::move(tag)),
+        start_s_(log ? log->now() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { finish(); }
+
+  void finish() {
+    if (!log_) return;
+    log_->record(std::move(name_), std::move(tag_), start_s_,
+                 log_->now() - start_s_);
+    log_ = nullptr;
+  }
+
+ private:
+  SpanLog* log_;
+  std::string name_;
+  std::string tag_;
+  double start_s_;
+};
+
+}  // namespace parabb

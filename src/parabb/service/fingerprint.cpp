@@ -58,6 +58,9 @@ std::string request_key(const JobRequest& request) {
   // Certified results carry the certificate text; a plain cached result
   // must never satisfy a certify request (or vice versa).
   os << "certify=" << request.certify << '\n';
+  // A flight-dump-carrying result must never satisfy a plain request
+  // (or vice versa), exactly like certificates.
+  os << "flight=" << request.flight << '\n';
   os << "budget wall_ms=" << request.budget.wall_ms
      << " max_generated=" << request.budget.max_generated
      << " max_active_bytes=" << request.budget.max_active_bytes << '\n';

@@ -68,6 +68,14 @@ struct JobRequest {
   /// Certified solves disable the engines' bound-aware LB short-circuit, so
   /// they are slower than plain ones; the flag participates in the cache key.
   bool certify = false;
+  /// When true the solve records recent search events into a per-worker
+  /// flight recorder (obs/recorder.hpp) and, if the job ends early
+  /// (feasible_timeout / cancelled), the result carries the dump —
+  /// explaining where the budget went. Unlike `certify`, recording is
+  /// read-beside and does not slow the bound computation; the flag still
+  /// participates in the cache key (a dump-carrying result must not
+  /// satisfy a plain request, or vice versa).
+  bool flight = false;
 };
 
 /// One terminal response. `schedule` is meaningful iff `found`.
@@ -90,6 +98,10 @@ struct JobResult {
   /// non-empty iff the request set `certify`. Check it independently with
   /// `parabb_verify` or verify_certificate().
   std::string certificate;
+  /// Serialized flight-recorder dump (one JSON object; see
+  /// docs/observability.md). Non-empty iff the request set `flight` AND
+  /// the job ended early (feasible_timeout / cancelled).
+  std::string flight_json;
 };
 
 }  // namespace parabb

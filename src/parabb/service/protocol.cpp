@@ -1,9 +1,11 @@
 #include "parabb/service/protocol.hpp"
 
 #include <initializer_list>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "parabb/obs/metrics.hpp"
 #include "parabb/support/json.hpp"
 #include "parabb/taskgraph/io.hpp"
 
@@ -135,7 +137,8 @@ JobRequest request_from_json(const std::string& line) {
   reject_unknown_fields(doc, "request",
                         {"id", "graph", "procs", "comm", "topology",
                          "select", "branch", "lb", "br", "ub", "tt",
-                         "threads", "priority", "budget", "certify"});
+                         "threads", "priority", "budget", "certify",
+                         "flight"});
 
   JobRequest req;
   req.id = get_string_field(doc, "id", "");
@@ -186,6 +189,7 @@ JobRequest request_from_json(const std::string& line) {
   req.priority = static_cast<int>(get_int_field(doc, "priority", 0));
 
   req.certify = get_bool_field(doc, "certify", false);
+  req.flight = get_bool_field(doc, "flight", false);
 
   if (const JsonValue* budget = doc.find("budget")) {
     if (!budget->is_object()) bad_request("budget must be an object");
@@ -236,6 +240,9 @@ std::string response_to_json(const JobResult& result,
   if (!result.certificate.empty()) {
     out.set("certificate", result.certificate);
   }
+  if (!result.flight_json.empty()) {
+    out.set("flight", JsonValue::parse(result.flight_json));
+  }
   return out.dump();
 }
 
@@ -244,6 +251,50 @@ std::string error_response_json(const std::string& id,
   JsonValue out = JsonValue::object();
   out.set("id", id.empty() ? "?" : id);
   out.set("error", message);
+  return out.dump();
+}
+
+std::optional<MetricsRequest> parse_metrics_request(const std::string& line,
+                                                    std::size_t line_no) {
+  if (line.size() > kMaxRequestLineBytes) return std::nullopt;
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const std::exception&) {
+    return std::nullopt;  // the solve-request path reports parse errors
+  }
+  if (!doc.is_object() || doc.find("metrics") == nullptr) {
+    return std::nullopt;
+  }
+  const auto bad = [line_no](const std::string& msg) -> std::runtime_error {
+    return std::runtime_error("metrics request at line " +
+                              std::to_string(line_no) + ": " + msg);
+  };
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (key != "id" && key != "metrics") {
+      throw bad("unknown field '" + key + "'");
+    }
+  }
+  const JsonValue& flag = *doc.find("metrics");
+  if (!flag.is_bool() || !flag.as_bool()) {
+    throw bad("'metrics' must be the literal true");
+  }
+  MetricsRequest req;
+  const JsonValue* id = doc.find("id");
+  if (!id) throw bad("missing request id");
+  if (!id->is_string() || id->as_string().empty()) {
+    throw bad("id must be a non-empty string");
+  }
+  req.id = id->as_string();
+  return req;
+}
+
+std::string metrics_response_json(const std::string& id,
+                                  const MetricsSnapshot& snapshot) {
+  JsonValue out = JsonValue::object();
+  out.set("id", id);
+  out.set("metrics", snapshot.to_json());
   return out.dump();
 }
 

@@ -18,11 +18,14 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "parabb/service/job.hpp"
 
 namespace parabb {
+
+struct MetricsSnapshot;  // obs/metrics.hpp
 
 /// Hard cap on one request line. A line past this is rejected with a
 /// structured error before JSON parsing — the graph is capped at
@@ -55,5 +58,27 @@ std::string response_to_json(const JobResult& result, const TaskGraph& graph);
 /// (unparseable line: `id` may be empty, emitted as "?").
 std::string error_response_json(const std::string& id,
                                 const std::string& message);
+
+/// An in-band observability request: {"id":"m1","metrics":true} asks the
+/// server for one registry snapshot, answered on the same stream as
+/// {"id":"m1","metrics":{...}} (see docs/formats.md, "Metrics requests").
+struct MetricsRequest {
+  std::string id;
+};
+
+/// Classifies one input line. Returns nullopt when the line is not a
+/// metrics request (no "metrics" member, or not parseable as a JSON
+/// object) — the caller falls through to the solve-request path, which
+/// owns the error reporting for those. A line that *is* a metrics
+/// request but malformed (unknown field, wrong types, missing id) throws
+/// std::runtime_error whose message carries `line_no`, e.g.
+///   metrics request at line 7: unknown field 'metrcs_interval'
+std::optional<MetricsRequest> parse_metrics_request(const std::string& line,
+                                                    std::size_t line_no);
+
+/// Serializes a snapshot as the response line for a metrics request
+/// (without the trailing newline).
+std::string metrics_response_json(const std::string& id,
+                                  const MetricsSnapshot& snapshot);
 
 }  // namespace parabb

@@ -4,9 +4,13 @@
 #include <utility>
 
 #include "parabb/bnb/parallel_engine.hpp"
+#include "parabb/obs/observe.hpp"
+#include "parabb/obs/recorder.hpp"
+#include "parabb/obs/span.hpp"
 #include "parabb/sched/context.hpp"
 #include "parabb/service/fingerprint.hpp"
 #include "parabb/support/assert.hpp"
+#include "parabb/support/json.hpp"
 #include "parabb/support/timer.hpp"
 #include "parabb/verify/certificate.hpp"
 #include "parabb/verify/certificate_io.hpp"
@@ -30,14 +34,60 @@ std::vector<std::pair<std::string, std::uint64_t>> ServiceCounters::rows()
 }
 
 SolverService::SolverService(ServiceConfig config)
-    : cache_(config.cache_entries),
+    : config_(config),
+      cache_(config.cache_entries),
       pool_(config.workers <= 0 ? 0
-                                : static_cast<std::size_t>(config.workers)) {}
+                                : static_cast<std::size_t>(config.workers)) {
+  bind_metrics();
+}
+
+void SolverService::bind_metrics() {
+  MetricsRegistry* reg = config_.metrics;
+  if (!reg) return;
+  m_admitted_ = reg->counter("parabb_service_jobs_admitted_total");
+  m_completed_ = reg->counter("parabb_service_jobs_completed_total");
+  m_optimal_ = reg->counter("parabb_service_jobs_optimal_total");
+  m_timed_out_ = reg->counter("parabb_service_jobs_feasible_timeout_total");
+  m_cancelled_ = reg->counter("parabb_service_jobs_cancelled_total");
+  m_infeasible_ = reg->counter("parabb_service_jobs_infeasible_total");
+  m_errors_ = reg->counter("parabb_service_jobs_error_total");
+  m_cache_hits_ = reg->counter("parabb_service_cache_hits_total");
+  m_cache_misses_ = reg->counter("parabb_service_cache_misses_total");
+  m_queue_peak_ = reg->gauge("parabb_service_queue_depth_peak");
+  m_job_seconds_ = reg->histogram(
+      "parabb_service_job_seconds", {0.001, 0.01, 0.1, 1.0, 10.0});
+  // Pull gauges: sampled at snapshot time so they are live values, not
+  // whatever the last job left behind.
+  collector_ = reg->add_collector([this](MetricsRegistry& r) {
+    std::size_t pending;
+    std::uint64_t inflight;
+    {
+      const std::lock_guard lock(mutex_);
+      pending = pending_.size();
+      inflight = in_flight_;
+    }
+    r.gauge("parabb_service_queue_depth")
+        ->set(static_cast<std::int64_t>(pending));
+    r.gauge("parabb_service_jobs_inflight")
+        ->set(static_cast<std::int64_t>(inflight));
+    r.gauge("parabb_service_pool_queue_depth")
+        ->set(static_cast<std::int64_t>(pool_.queue_depth()));
+    r.gauge("parabb_service_cache_entries")
+        ->set(static_cast<std::int64_t>(cache_.size()));
+    r.gauge("parabb_service_cache_capacity")
+        ->set(static_cast<std::int64_t>(cache_.capacity()));
+    r.gauge("parabb_service_workers")
+        ->set(static_cast<std::int64_t>(pool_.thread_count()));
+  });
+}
 
 SolverService::~SolverService() {
   // Drain-then-join: shutdown runs every queued pump to completion and
   // joins the workers, so no pump can touch members after they die.
   pool_.shutdown(ThreadPool::DrainPolicy::kDrain);
+  // Only now is it safe to detach the collector: it reads pool_/cache_,
+  // and a snapshot may race the teardown otherwise.
+  if (config_.metrics) config_.metrics->remove_collector(collector_);
 }
 
 JobTicket SolverService::submit(
@@ -58,6 +108,11 @@ JobTicket SolverService::submit(
     ++counters_.admitted;
     ++in_flight_;
     counters_.queue_peak = std::max(counters_.queue_peak, pending_.size());
+  }
+  if (m_admitted_) {
+    m_admitted_->add(1);
+    m_queue_peak_->set_max(
+        static_cast<std::int64_t>(counters().queue_peak));
   }
   // One pump per admitted job: the pool's thread count caps concurrency,
   // the heap decides *which* pending job each pump runs.
@@ -109,16 +164,27 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
     }
   }
 
+  FlightRecorder recorder(config_.flight_capacity);
   try {
+    ScopedSpan ctx_span(config_.spans, "context", req.id);
     const SchedContext ctx(req.graph, req.machine);
+    ctx_span.finish();
+
     Params params = req.params;
     params.trace = nullptr;  // service-owned fields
+    params.observe = nullptr;
     apply_budget(params, req.budget, &record->token);
+
+    Observation ob;
+    ob.metrics = config_.metrics;
+    if (req.flight) ob.recorder = &recorder;
+    if (ob.enabled()) params.observe = &ob;
 
     CertificateBuilder builder;
     if (req.certify) params.certify = &builder;
 
     Stopwatch watch;
+    ScopedSpan search_span(config_.spans, "search", req.id);
     if (req.threads > 1) {
       ParallelParams pp;
       pp.base = params;
@@ -140,10 +206,18 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
       out.reason = r.reason;
       out.generated = r.stats.generated;
     }
+    search_span.finish();
     out.seconds = watch.seconds();
     out.outcome = outcome_of(out.reason, out.found);
     if (req.certify) {
+      const ScopedSpan certify_span(config_.spans, "certify", req.id);
       out.certificate = certificate_to_text(builder.take(), req.graph);
+    }
+    // The dump explains *interrupted* searches; a job that ran to its
+    // natural end has nothing to explain, so its response stays lean.
+    if (req.flight && (out.outcome == JobOutcome::kFeasibleTimeout ||
+                       out.outcome == JobOutcome::kCancelled)) {
+      out.flight_json = recorder.dump_json().dump();
     }
   } catch (const std::exception& e) {
     out.error = e.what();
@@ -183,6 +257,28 @@ void SolverService::finalize(const std::shared_ptr<JobRecord>& record,
                !record->request.params.dominance) {
       ++counters_.cache_misses;
     }
+  }
+  if (m_completed_) {
+    const JobResult& r = record->result;
+    m_completed_->add(1);
+    if (!r.error.empty()) {
+      m_errors_->add(1);
+    } else {
+      switch (r.outcome) {
+        case JobOutcome::kOptimal: m_optimal_->add(1); break;
+        case JobOutcome::kFeasibleTimeout: m_timed_out_->add(1); break;
+        case JobOutcome::kCancelled: m_cancelled_->add(1); break;
+        case JobOutcome::kInfeasible: m_infeasible_->add(1); break;
+      }
+    }
+    if (r.cached) {
+      m_cache_hits_->add(1);
+    } else if (r.error.empty() && r.outcome != JobOutcome::kCancelled &&
+               !record->request.params.characteristic &&
+               !record->request.params.dominance) {
+      m_cache_misses_->add(1);
+    }
+    if (r.error.empty() && !r.cached) m_job_seconds_->observe(r.seconds);
   }
   cv_done_.notify_all();  // wait(ticket) waiters: the result is terminal
   // The callback runs before in_flight_ drops so wait_all() implies every

@@ -37,17 +37,36 @@
 #include <vector>
 
 #include "parabb/bnb/cancel.hpp"
+#include "parabb/obs/metrics.hpp"
 #include "parabb/service/cache.hpp"
 #include "parabb/service/job.hpp"
 #include "parabb/support/threadpool.hpp"
 
 namespace parabb {
 
+class SpanLog;  // obs/span.hpp
+
 struct ServiceConfig {
   /// Concurrent solve cap = worker threads; 0 = hardware concurrency.
   int workers = 0;
   /// Result-cache capacity in entries; 0 disables caching.
   std::size_t cache_entries = 256;
+
+  /// Optional metrics registry (obs/metrics.hpp); not owned, may be null,
+  /// must outlive the service. When set, the service publishes its job /
+  /// cache counters (parabb_service_* family), registers a pull collector
+  /// for the live queue/cache gauges, and hands the registry to every
+  /// solve so the engines publish their search_* counters too.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Optional span log (obs/span.hpp); not owned, may be null, must
+  /// outlive the service. Each job emits context/search/certify spans
+  /// tagged with its request id.
+  SpanLog* spans = nullptr;
+
+  /// Ring capacity (events per engine worker) for jobs that request a
+  /// flight-recorder dump.
+  std::size_t flight_capacity = 256;
 };
 
 /// Service-level counters (monotone; queue_peak is a high-water mark).
@@ -76,6 +95,8 @@ class SolverService {
 
   /// Drains: blocks until every admitted job reached a terminal state.
   ~SolverService();
+
+  const ServiceConfig& config() const noexcept { return config_; }
 
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
@@ -132,8 +153,27 @@ class SolverService {
   JobResult run_job(const std::shared_ptr<JobRecord>& record);
   void finalize(const std::shared_ptr<JobRecord>& record, JobResult result);
 
+  /// Resolves the parabb_service_* registry handles (null registry OK).
+  void bind_metrics();
+
+  ServiceConfig config_;
   ResultCache cache_;
   ThreadPool pool_;
+
+  // Registry handles; all null when config_.metrics is null. Counters are
+  // bumped next to their ServiceCounters twins so both views agree.
+  Counter* m_admitted_ = nullptr;
+  Counter* m_completed_ = nullptr;
+  Counter* m_optimal_ = nullptr;
+  Counter* m_timed_out_ = nullptr;
+  Counter* m_cancelled_ = nullptr;
+  Counter* m_infeasible_ = nullptr;
+  Counter* m_errors_ = nullptr;
+  Counter* m_cache_hits_ = nullptr;
+  Counter* m_cache_misses_ = nullptr;
+  Gauge* m_queue_peak_ = nullptr;
+  Histogram* m_job_seconds_ = nullptr;
+  MetricsRegistry::CollectorId collector_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_done_;

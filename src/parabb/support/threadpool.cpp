@@ -48,6 +48,7 @@ void ThreadPool::submit(std::function<void()> job) {
     std::lock_guard lock(mutex_);
     PARABB_REQUIRE(!stop_, "submit after shutdown");
     queue_.push_back(std::move(job));
+    ++submitted_;
   }
   cv_work_.notify_one();
 }

@@ -59,6 +59,19 @@ class ThreadPool {
   /// True once shutdown() has begun (no further submissions accepted).
   bool stopped() const;
 
+  /// Jobs queued but not yet claimed by a worker (point-in-time snapshot;
+  /// for observability gauges, not for control flow).
+  std::size_t queue_depth() const {
+    const std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Total jobs ever accepted by submit().
+  std::uint64_t submitted_total() const {
+    const std::lock_guard lock(mutex_);
+    return submitted_;
+  }
+
  private:
   void worker_loop();
 
@@ -68,6 +81,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
+  std::uint64_t submitted_ = 0;
   bool stop_ = false;
 };
 

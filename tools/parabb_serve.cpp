@@ -5,21 +5,36 @@
 // JSON response line per request to stdout. Responses are emitted as jobs
 // finish, so they may appear out of submission order; clients correlate
 // by the request `id`. Lines that fail to parse produce an error response
-// instead of killing the stream. On shutdown a service counters summary
-// is printed to stderr (suppress with --quiet).
+// instead of killing the stream. On shutdown a counters summary, sourced
+// from the metrics registry, is printed to stderr (suppress with --quiet).
+//
+// Observability (docs/observability.md):
+//   * {"id":"m1","metrics":true} on the input stream is answered in-band
+//     with a full registry snapshot (live queue/cache/engine counters).
+//   * --metrics-interval S streams a snapshot line to stderr every S
+//     seconds while the service runs.
+//   * --metrics-prom PATH writes a Prometheus text dump at shutdown.
+//   * --spans PATH writes the per-job phase spans as JSONL at shutdown.
+//   * a request carrying "flight":true gets a flight-recorder dump
+//     attached to its response if it times out or is cancelled.
 //
 //   $ parabb_serve < requests.jsonl > responses.jsonl
 //   $ parabb_serve --workers 4 --cache 512 requests.jsonl
 //
 // Protocol schema: docs/formats.md, "Solver service protocol".
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "parabb/obs/metrics.hpp"
+#include "parabb/obs/span.hpp"
 #include "parabb/service/protocol.hpp"
 #include "parabb/service/service.hpp"
 #include "parabb/support/cli.hpp"
@@ -44,13 +59,39 @@ std::string salvage_id(const std::string& line) {
   return "";
 }
 
-void print_summary(const SolverService& service, std::uint64_t rejected) {
+/// Shutdown summary, sourced from the registry (the ServiceCounters twin
+/// is kept for API clients; this table proves the registry carries the
+/// same truth). Labels are stable for scripts that scrape stderr.
+void print_summary(const MetricsSnapshot& snap, const CacheCounters& cc,
+                   std::uint64_t rejected) {
+  const auto counter = [&snap](const char* name) {
+    const auto* c = snap.find_counter(name);
+    return c ? c->value : 0;
+  };
+  const auto gauge = [&snap](const char* name) -> std::int64_t {
+    const auto* g = snap.find_gauge(name);
+    return g ? g->value : 0;
+  };
   TextTable table;
   table.set_header({"counter", "value"});
-  for (const auto& [label, value] : service.counters().rows()) {
-    table.add_row({label, std::to_string(value)});
+  const std::pair<const char*, const char*> rows[] = {
+      {"jobs admitted", "parabb_service_jobs_admitted_total"},
+      {"jobs completed", "parabb_service_jobs_completed_total"},
+      {"  optimal", "parabb_service_jobs_optimal_total"},
+      {"  feasible_timeout", "parabb_service_jobs_feasible_timeout_total"},
+      {"  cancelled", "parabb_service_jobs_cancelled_total"},
+      {"  infeasible", "parabb_service_jobs_infeasible_total"},
+      {"  errors", "parabb_service_jobs_error_total"},
+      {"cache hits", "parabb_service_cache_hits_total"},
+      {"cache misses", "parabb_service_cache_misses_total"},
+      {"vertices expanded", "parabb_search_expanded_total"},
+      {"vertices generated", "parabb_search_generated_total"},
+  };
+  for (const auto& [label, metric] : rows) {
+    table.add_row({label, std::to_string(counter(metric))});
   }
-  const CacheCounters cc = service.cache_counters();
+  table.add_row({"queue depth peak",
+                 std::to_string(gauge("parabb_service_queue_depth_peak"))});
   table.add_row({"cache insertions", std::to_string(cc.insertions)});
   table.add_row({"cache evictions", std::to_string(cc.evictions)});
   table.add_row({"cache collisions", std::to_string(cc.collisions)});
@@ -66,6 +107,14 @@ int main(int argc, char** argv) {
                    "line on stdin, one response per line on stdout)");
   parser.add_option("workers", "concurrent solve cap (0 = hardware)", "0");
   parser.add_option("cache", "result-cache entries (0 = disabled)", "256");
+  parser.add_option("metrics-interval",
+                    "stream a metrics snapshot to stderr every N seconds "
+                    "(0 = off)",
+                    "0");
+  parser.add_option("metrics-prom",
+                    "write a Prometheus text dump here at shutdown", "");
+  parser.add_option("spans", "write phase spans (JSONL) here at shutdown",
+                    "");
   parser.add_flag("quiet", "suppress the shutdown counters summary");
 
   try {
@@ -86,10 +135,17 @@ int main(int argc, char** argv) {
     }
     std::istream& in = file.is_open() ? file : std::cin;
 
+    // Declared before the service so they outlive it: the service's
+    // destructor detaches its registry collector.
+    MetricsRegistry registry;
+    SpanLog span_log;
+
     ServiceConfig config;
     config.workers = static_cast<int>(parser.get_int("workers"));
     config.cache_entries =
         static_cast<std::size_t>(parser.get_int("cache"));
+    config.metrics = &registry;
+    config.spans = &span_log;
     SolverService service(config);
 
     std::mutex out_mutex;
@@ -100,10 +156,48 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     };
 
+    // Periodic snapshot streamer (stderr, so stdout stays pure protocol).
+    const double interval_s = parser.get_double("metrics-interval");
+    std::atomic<bool> stop_streamer{false};
+    std::thread streamer;
+    if (interval_s > 0) {
+      streamer = std::thread([&registry, &stop_streamer, interval_s] {
+        const auto step = std::chrono::milliseconds(20);
+        auto next = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(interval_s);
+        while (!stop_streamer.load()) {
+          if (std::chrono::steady_clock::now() >= next) {
+            const std::string line =
+                metrics_response_json("metrics-interval",
+                                      registry.snapshot());
+            std::fprintf(stderr, "%s\n", line.c_str());
+            next += std::chrono::duration<double>(interval_s);
+          }
+          std::this_thread::sleep_for(step);
+        }
+      });
+    }
+
     std::uint64_t rejected = 0;
+    std::size_t line_no = 0;
     std::string line;
     while (std::getline(in, line)) {
+      ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+      // In-band metrics requests are answered synchronously: the snapshot
+      // reflects everything admitted before this line.
+      try {
+        if (const auto mreq = parse_metrics_request(line, line_no)) {
+          emit(metrics_response_json(mreq->id, registry.snapshot()));
+          continue;
+        }
+      } catch (const std::exception& e) {
+        ++rejected;
+        emit(error_response_json(salvage_id(line), e.what()));
+        continue;
+      }
+
       JobRequest request;
       try {
         request = request_from_json(line);
@@ -122,7 +216,23 @@ int main(int argc, char** argv) {
     }
 
     service.wait_all();
-    if (!parser.has_flag("quiet")) print_summary(service, rejected);
+    if (streamer.joinable()) {
+      stop_streamer.store(true);
+      streamer.join();
+    }
+
+    const std::string prom_path = parser.get_string("metrics-prom");
+    if (!prom_path.empty()) {
+      write_text_file(prom_path, registry.snapshot().to_prometheus());
+    }
+    const std::string spans_path = parser.get_string("spans");
+    if (!spans_path.empty()) {
+      write_text_file(spans_path, span_log.to_jsonl());
+    }
+    if (!parser.has_flag("quiet")) {
+      print_summary(registry.snapshot(), service.cache_counters(),
+                    rejected);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "parabb_serve: %s\n", e.what());

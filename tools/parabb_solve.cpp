@@ -19,6 +19,7 @@
 #include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/engine.hpp"
 #include "parabb/bnb/parallel_engine.hpp"
+#include "parabb/bnb/search_obs.hpp"
 #include "parabb/deadline/slicing.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/sched/etf.hpp"
@@ -29,6 +30,7 @@
 #include "parabb/service/job.hpp"
 #include "parabb/service/protocol.hpp"
 #include "parabb/support/cli.hpp"
+#include "parabb/support/json.hpp"
 #include "parabb/support/table.hpp"
 #include "parabb/taskgraph/io.hpp"
 #include "parabb/verify/certificate.hpp"
@@ -44,6 +46,51 @@ using namespace parabb;
 CancelToken g_interrupt;
 
 extern "C" void handle_sigint(int) { g_interrupt.cancel(); }
+
+JsonValue table_to_json(const TextTable& table) {
+  JsonValue out = JsonValue::object();
+  JsonValue header = JsonValue::array();
+  for (const std::string& cell : table.header()) header.push_back(cell);
+  out.set("header", std::move(header));
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : table.rows()) {
+    if (row.empty()) continue;
+    JsonValue r = JsonValue::array();
+    for (const std::string& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+  }
+  out.set("rows", std::move(rows));
+  return out;
+}
+
+/// parabb-bench-v1 record for --stats-json: one metric/value table with
+/// every SearchStats counter (driven by the bnb/search_obs field table,
+/// so new counters show up here automatically) plus the run verdict.
+/// Consumable by tools/bench_check.py --structure-only.
+void write_stats_json(const std::string& path, const std::string& algo,
+                      const SearchStats& stats, JobOutcome outcome,
+                      Time cost, bool proved) {
+  TextTable t;
+  t.set_header({"metric", "value"});
+  for (const SearchStatsField& f : kSearchStatsFields) {
+    t.add_row({f.name, std::to_string(stats.*(f.member))});
+  }
+  t.add_row({"peak_active", std::to_string(stats.peak_active)});
+  t.add_row({"peak_memory_bytes", std::to_string(stats.peak_memory_bytes)});
+  t.add_row({"seconds", fmt_double(stats.seconds, 6)});
+  t.add_row({"cost", std::to_string(cost)});
+  t.add_row({"outcome", to_string(outcome)});
+  t.add_row({"proved", proved ? "1" : "0"});
+  t.add_row({"algo", algo});
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "parabb-bench-v1");
+  doc.set("bench", "parabb_solve");
+  JsonValue tables = JsonValue::object();
+  tables.set("solve", table_to_json(t));
+  doc.set("tables", std::move(tables));
+  write_text_file(path, doc.dump() + "\n");
+}
 
 void print_schedule(const Schedule& schedule, const TaskGraph& graph) {
   TextTable table;
@@ -97,6 +144,10 @@ int main(int argc, char** argv) {
                     "write an optimality certificate here (bnb algos only; "
                     "check it with parabb_verify)",
                     "");
+  parser.add_option("stats-json",
+                    "write search stats as a parabb-bench-v1 record here "
+                    "(bnb algos only)",
+                    "");
   parser.add_flag("gantt", "print an ASCII Gantt chart");
   parser.add_flag("quiet", "print only the final cost");
 
@@ -134,6 +185,12 @@ int main(int argc, char** argv) {
     Time cost = 0;
     std::string status;
     const std::string algo = parser.get_string("algo");
+    if (!parser.get_string("stats-json").empty() && algo != "bnb" &&
+        algo != "bnb-parallel") {
+      std::fprintf(stderr,
+                   "--stats-json requires --algo bnb or bnb-parallel\n");
+      return 2;
+    }
     if (algo == "edf") {
       const EdfResult r = schedule_edf(ctx);
       schedule = r.schedule;
@@ -184,6 +241,7 @@ int main(int argc, char** argv) {
       bool proved = false;
       TerminationReason reason = TerminationReason::kExhausted;
       std::string engine_info;
+      SearchStats stats;
       if (algo == "bnb") {
         const SearchResult r = solve_bnb(ctx, params);
         found = r.found_solution;
@@ -191,6 +249,7 @@ int main(int argc, char** argv) {
         reason = r.reason;
         schedule = r.best;
         cost = r.best_cost;
+        stats = r.stats;
         engine_info = std::to_string(r.stats.generated) + " vertices";
       } else {
         ParallelParams pp;
@@ -202,6 +261,7 @@ int main(int argc, char** argv) {
         reason = r.reason;
         schedule = r.best;
         cost = r.best_cost;
+        stats = r.stats;
         engine_info = std::to_string(r.threads_used) + " threads";
       }
       std::signal(SIGINT, SIG_DFL);
@@ -213,6 +273,12 @@ int main(int argc, char** argv) {
       }
 
       const JobOutcome outcome = outcome_of(reason, found);
+      // Written before the found check so an infeasible or interrupted
+      // run still leaves its effort record behind.
+      if (const std::string sp = parser.get_string("stats-json");
+          !sp.empty()) {
+        write_stats_json(sp, algo, stats, outcome, cost, proved);
+      }
       if (!found) {
         std::fprintf(stderr, "no solution found (outcome: %s)\n",
                      to_string(outcome).c_str());
