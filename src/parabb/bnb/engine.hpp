@@ -41,6 +41,11 @@ struct SearchStats {
   std::uint64_t tt_misses = 0;       ///< table probes that found no duplicate
   std::uint64_t tt_evictions = 0;    ///< table entries replaced (memory cap)
   std::uint64_t tt_collisions = 0;   ///< equal fingerprint, unequal state
+  /// Work-stealing scheduler only (zero for the sequential engine and the
+  /// central-queue scheduler): victim-deque probes by idle workers, and
+  /// probes that came back with at least one vertex.
+  std::uint64_t steals_attempted = 0;
+  std::uint64_t steals_succeeded = 0;
   std::size_t peak_active = 0;       ///< max |AS| observed
   std::size_t peak_memory_bytes = 0; ///< max vertex-pool footprint
   double seconds = 0.0;              ///< wall time of the search

@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "parabb/support/assert.hpp"
 #include "parabb/support/inline_vector.hpp"
 #include "parabb/support/timer.hpp"
+#include "parabb/support/ws_deque.hpp"
 
 namespace parabb {
 namespace {
@@ -41,6 +44,7 @@ struct Shared {
   PartialSchedule best_state;
   bool found = false;
 
+  // Central-queue scheduler state (unused under work stealing).
   std::mutex queue_mutex;
   std::condition_variable queue_cv;
   std::deque<WorkItem> queue;
@@ -72,8 +76,10 @@ struct Shared {
 
   /// Raises `stop` with reason `r`; the first caller's reason sticks.
   /// The flag is set under `queue_mutex`: a bare store + notify could land
-  /// between a worker's wait-predicate check and its actual block, and that
-  /// worker would sleep through the wakeup forever (missed-wakeup race).
+  /// between a central worker's wait-predicate check and its actual block,
+  /// and that worker would sleep through the wakeup forever (missed-wakeup
+  /// race). Work-stealing workers park on a *timed* wait instead, so for
+  /// them the relaxed flag alone is enough.
   void request_stop(TerminationReason r) {
     TerminationReason expected = TerminationReason::kExhausted;
     stop_reason.compare_exchange_strong(expected, r,
@@ -138,25 +144,27 @@ InlineVector<TaskId, kMaxTasks> branch_tasks(const SchedContext& ctx,
   return out;
 }
 
-/// Expands one vertex; goals update the incumbent, surviving children are
-/// appended to `out` worst-bound-first (pop-back then explores best-first).
+/// Core of one vertex expansion, shared by both schedulers and the seeding
+/// phase. Goals update the incumbent; each surviving child is handed to
+/// `emit(state, lb)` in generation order (callers order them afterwards).
 /// Zero-copy: candidates are evaluated via place → bound → unplace on one
-/// scratch state; only survivors are copied into `out`.
-void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
-            std::vector<WorkItem>& out, SearchStats& stats, SearchObs& so) {
+/// scratch state; `emit` decides where survivors get copied.
+template <typename Emit>
+void expand_children(Shared& sh, IncrementalLB& inc,
+                     const PartialSchedule& parent, Time parent_lb,
+                     SearchStats& stats, SearchObs& so, Emit&& emit) {
   ++stats.expanded;
-  so.expand(item.state.count(), item.lb);
+  so.expand(parent.count(), parent_lb);
   const Time threshold = sh.threshold();
-  const std::size_t base = out.size();
   // Goal children need their exact cost (offer_goal compares it to the
   // incumbent directly), so the short-circuit may not fire on them.
-  const bool goal_children = item.state.count() + 1 == sh.ctx.task_count();
+  const bool goal_children = parent.count() + 1 == sh.ctx.task_count();
   const Time cutoff =
       (sh.params.incremental_lb && sh.params.elim == ElimRule::kUDBAS &&
        !goal_children && sh.params.certify == nullptr)
           ? threshold
           : kTimeInf;
-  PartialSchedule cur = item.state;
+  PartialSchedule cur = parent;
   inc.attach(cur);
   std::uint64_t generated_here = 0;
   for (const TaskId t : branch_tasks(sh.ctx, sh.params.branch, cur.ready())) {
@@ -194,7 +202,7 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
                                         CutRule::kTransposition, lb);
         }
       } else {
-        out.push_back(WorkItem{cur, lb});
+        emit(cur, lb);
         ++stats.activated;
       }
       inc.unplace(cur, t);
@@ -203,14 +211,39 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
   if (generated_here > 0) {
     sh.generated.fetch_add(generated_here, std::memory_order_relaxed);
   }
+}
+
+/// Central-queue expansion: surviving children are appended to `out`
+/// worst-bound-first (pop-back then explores best-first).
+void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
+            std::vector<WorkItem>& out, SearchStats& stats, SearchObs& so) {
+  const std::size_t base = out.size();
+  expand_children(sh, inc, item.state, item.lb, stats, so,
+                  [&](const PartialSchedule& s, Time lb) {
+                    out.push_back(WorkItem{s, lb});
+                  });
   if (sh.params.sort_children) {
     std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
               [](const WorkItem& a, const WorkItem& b) { return a.lb > b.lb; });
   }
 }
 
+// ---------------------------------------------------------------------------
+// Central-queue scheduler (ParallelScheduler::kCentralQueue).
+// ---------------------------------------------------------------------------
+
 /// Worker protocol: `idle` counts workers not holding work. The last worker
 /// to go idle with an empty queue declares the search done.
+///
+/// Idle-accounting invariant (hardened; mirrored by the work-stealing
+/// termination counter): a worker increments `idle` exactly once per outer
+/// iteration and decrements it only in the same critical section in which
+/// it takes a WorkItem off the queue. A wake → queue-empty → re-sleep cycle
+/// therefore re-enters the wait with its increment still standing — it can
+/// never decrement without dequeuing, so `idle` cannot drift low and
+/// declare termination while work is in flight, and every exit path leaves
+/// the worker counted (the caller asserts idle == total_threads after the
+/// join).
 void worker_loop(Shared& sh, SearchStats& stats, SearchObs& so) {
   std::vector<WorkItem> local;
   IncrementalLB inc(sh.ctx);  // private scratch: no shared mutable state
@@ -219,6 +252,7 @@ void worker_loop(Shared& sh, SearchStats& stats, SearchObs& so) {
     {
       std::unique_lock lock(sh.queue_mutex);
       ++sh.idle;
+      PARABB_ASSERT(sh.idle <= sh.total_threads);
       if ((sh.idle == sh.total_threads && sh.queue.empty()) ||
           sh.stop.load()) {
         sh.done = true;
@@ -294,7 +328,293 @@ void worker_loop(Shared& sh, SearchStats& stats, SearchObs& so) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler (ParallelScheduler::kWorkStealing).
+// ---------------------------------------------------------------------------
+
+/// One search-tree vertex. Lives in a per-worker NodeSlab; the deques store
+/// pointers, so a steal moves 8 bytes instead of a ~250-byte state copy.
+/// `next_free` threads a slab freelist while the node is dead.
+struct WsNode {
+  PartialSchedule state;
+  Time lb = 0;
+  WsNode* next_free = nullptr;
+};
+
+/// Per-worker slab allocator: nodes come from chunked arrays, dead nodes go
+/// on a freelist. Strictly single-threaded — only the owning worker
+/// allocates from or releases into it. A *stolen* node is released into the
+/// thief's slab, which is safe because the node's chunk belongs to the
+/// allocating slab and every slab outlives every worker (they are owned by
+/// WsControl, destroyed after the joins). No lock anywhere on the
+/// allocation path.
+class NodeSlab {
+ public:
+  WsNode* alloc() {
+    if (free_list_ != nullptr) {
+      WsNode* const n = free_list_;
+      free_list_ = n->next_free;
+      return n;
+    }
+    if (next_ == kChunkNodes) {
+      chunks_.push_back(std::make_unique<WsNode[]>(kChunkNodes));
+      next_ = 0;
+    }
+    return &chunks_.back()[next_++];
+  }
+
+  void release(WsNode* n) noexcept {
+    n->next_free = free_list_;
+    free_list_ = n;
+  }
+
+  /// Bytes resident in this slab's chunks (freelisted nodes included; a
+  /// node released cross-slab is counted by its allocating slab).
+  std::size_t memory_bytes() const noexcept {
+    return chunks_.size() * kChunkNodes * sizeof(WsNode);
+  }
+
+ private:
+  static constexpr std::size_t kChunkNodes = 128;
+  std::vector<std::unique_ptr<WsNode[]>> chunks_;
+  std::size_t next_ = kChunkNodes;  ///< next unused slot in chunks_.back()
+  WsNode* free_list_ = nullptr;
+};
+
+/// Shared work-stealing scheduler state: one deque + one slab per worker,
+/// the idle/termination counter, and the park bench for starved workers.
+struct WsControl {
+  WsControl(int threads, int batch_cap) : steal_cap(batch_cap) {
+    deques.reserve(static_cast<std::size_t>(threads));
+    slabs.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      deques.push_back(std::make_unique<WsDeque<WsNode*>>());
+      slabs.push_back(std::make_unique<NodeSlab>());
+    }
+  }
+
+  std::vector<std::unique_ptr<WsDeque<WsNode*>>> deques;
+  std::vector<std::unique_ptr<NodeSlab>> slabs;
+  const int steal_cap;  ///< ParallelParams::steal_batch (0 = uncapped half)
+
+  /// Workers currently holding no vertex. The termination protocol's only
+  /// invariant: a worker counted here never holds work — it decrements
+  /// BEFORE attempting a steal and re-increments only after the whole
+  /// sweep failed (same discipline as Shared::idle, without the lock).
+  alignas(64) std::atomic<int> idle{0};
+  std::atomic<bool> done{false};  ///< search exhausted (terminal)
+
+  /// Starved workers park here on a *timed* wait, so a missed notify (the
+  /// wakers deliberately notify without holding the mutex) costs at most
+  /// one park period, not a hang.
+  std::mutex park_mutex;
+  std::condition_variable park_cv;
+};
+
+/// Work-stealing worker. Dives depth-first on its own deque (owner LIFO);
+/// when dry, steals a batch from the top of a random victim (thief FIFO —
+/// the shallowest vertices, whose subtrees amortize the steal best).
+///
+/// Termination: `ctl.idle` counts workers holding no vertex. A worker may
+/// declare `done` only after (1) reading every deque empty, (2) a seq_cst
+/// fence, (3) reading idle == threads, and (4) re-reading every deque
+/// empty. Any vertex still alive is either in a deque — contradicting (1)
+/// or (4), since an owner only goes idle with its own deque drained — or in
+/// the hands of a worker that decremented `idle` before claiming it —
+/// contradicting (3). See docs/algorithm.md for the full argument.
+void ws_worker_loop(Shared& sh, WsControl& ctl, const std::size_t self,
+                    SearchStats& stats, SearchObs& so) {
+  WsDeque<WsNode*>& mine = *ctl.deques[self];
+  NodeSlab& slab = *ctl.slabs[self];
+  const std::size_t nworkers = ctl.deques.size();
+  IncrementalLB inc(sh.ctx);  // private scratch: no shared mutable state
+  std::vector<WsNode*> staged;  // children of the current expansion
+  std::vector<WsNode*> loot;    // steal batch buffer
+  std::minstd_rand rng(static_cast<std::minstd_rand::result_type>(
+      self * 2654435761u + 1));
+  std::uint64_t iter = 0;
+
+  const auto pop_own = [&]() -> WsNode* {
+    WsNode* n = nullptr;
+    return mine.pop_bottom(n) ? n : nullptr;
+  };
+  const auto finish = [&] {
+    stats.peak_memory_bytes = std::max(
+        stats.peak_memory_bytes, slab.memory_bytes() + mine.memory_bytes());
+    so.deque_depth(0);
+    so.flush(stats);
+  };
+
+  WsNode* cur = pop_own();
+  for (;;) {
+    // ---- dive: depth-first on the owned deque --------------------------
+    while (cur != nullptr) {
+      if (sh.should_stop()) {
+        std::uint64_t dumped = 1;  // the in-hand vertex
+        slab.release(cur);
+        cur = nullptr;
+        for (WsNode* n = pop_own(); n != nullptr; n = pop_own()) {
+          slab.release(n);
+          ++dumped;
+        }
+        stats.disposed += dumped;
+        so.dispose(static_cast<std::int64_t>(dumped));
+        break;
+      }
+      const Time pop_threshold = sh.threshold();
+      if (sh.params.elim == ElimRule::kUDBAS && cur->lb >= pop_threshold) {
+        ++stats.pruned_active;
+        so.prune(FlightPruneRule::kBound, cur->state.count(), cur->lb);
+        if (sh.params.certify) {
+          sh.params.certify->record_cut(
+              sh.ctx, cur->state,
+              bound_cut_rule(sh.ctx, cur->state, sh.params.lb,
+                             pop_threshold),
+              cur->lb);
+        }
+        slab.release(cur);
+        cur = pop_own();
+        continue;
+      }
+      staged.clear();
+      expand_children(sh, inc, cur->state, cur->lb, stats, so,
+                      [&](const PartialSchedule& s, Time lb) {
+                        WsNode* const n = slab.alloc();
+                        n->state = s;
+                        n->lb = lb;
+                        staged.push_back(n);
+                      });
+      slab.release(cur);
+      if (sh.params.sort_children) {
+        // Worst bound pushed first: the owner's next pop gets the best
+        // child, thieves at the top get the worst (and shallowest).
+        std::sort(staged.begin(), staged.end(),
+                  [](const WsNode* a, const WsNode* b) {
+                    return a->lb > b->lb;
+                  });
+      }
+      // The best child stays in hand — it is the vertex this worker dives
+      // into next anyway, so round-tripping it through the deque would buy
+      // nothing but a push plus a fenced pop per expansion.
+      cur = nullptr;
+      if (!staged.empty()) {
+        cur = staged.back();
+        staged.pop_back();
+      }
+      for (WsNode* const n : staged) mine.push_bottom(n);
+      if (!staged.empty() &&
+          ctl.idle.load(std::memory_order_relaxed) > 0) {
+        ctl.park_cv.notify_one();  // deliberately lock-free; timed park
+                                   // bounds a missed wakeup
+      }
+      // Amortized flush, mirroring the 256-expansion polling cadence.
+      // peak_active is sampled here too: exact tracking would cost two
+      // atomic loads per expansion, and the parallel peaks are documented
+      // as approximate sums anyway.
+      if ((++iter & 0xFFu) == 0) {
+        const std::size_t depth = mine.size_hint() + 1;  // + the in-hand one
+        stats.peak_active = std::max(stats.peak_active, depth);
+        so.budget_checkpoint(static_cast<std::int64_t>(
+            sh.generated.load(std::memory_order_relaxed)));
+        so.deque_depth(static_cast<std::int64_t>(depth - 1));
+        stats.peak_memory_bytes =
+            std::max(stats.peak_memory_bytes,
+                     slab.memory_bytes() + mine.memory_bytes());
+        so.flush(stats);
+      }
+      if (cur == nullptr) cur = pop_own();
+    }
+
+    // ---- forage: steal work or detect termination ----------------------
+    ctl.idle.fetch_add(1, std::memory_order_seq_cst);
+    int spins = 0;
+    while (cur == nullptr) {
+      if (sh.stop.load(std::memory_order_relaxed) ||
+          ctl.done.load(std::memory_order_acquire)) {
+        finish();
+        return;  // exits counted idle; caller asserts idle == threads
+      }
+      // Glance: is any work visible? A mere look needs no idle bookkeeping.
+      bool saw_work = false;
+      for (std::size_t v = 0; v < nworkers && !saw_work; ++v) {
+        saw_work = v != self && !ctl.deques[v]->empty_hint();
+      }
+      if (saw_work) {
+        // Leave the idle count BEFORE touching any vertex: the termination
+        // declarer reads `idle` after its empty sweep, so a worker counted
+        // idle must never hold work (WsControl::idle invariant).
+        ctl.idle.fetch_sub(1, std::memory_order_seq_cst);
+        const std::size_t start =
+            static_cast<std::size_t>(rng()) % nworkers;
+        for (std::size_t off = 0; off < nworkers && cur == nullptr; ++off) {
+          const std::size_t v = (start + off) % nworkers;
+          if (v == self) continue;
+          WsDeque<WsNode*>& victim = *ctl.deques[v];
+          const std::size_t hint = victim.size_hint();
+          if (hint == 0) continue;
+          ++stats.steals_attempted;
+          // Steal half (rounded up, min 1), capped by the knob.
+          std::size_t take = hint - hint / 2;
+          if (ctl.steal_cap > 0) {
+            take = std::min(take, static_cast<std::size_t>(ctl.steal_cap));
+          }
+          loot.resize(take);
+          const std::size_t got = victim.steal_batch(loot.data(), take);
+          if (got == 0) continue;  // lost the race or victim drained
+          ++stats.steals_succeeded;
+          so.steal(static_cast<int>(v), static_cast<std::int64_t>(got));
+          cur = loot[0];
+          for (std::size_t i = 1; i < got; ++i) mine.push_bottom(loot[i]);
+          if (got > 1 && ctl.idle.load(std::memory_order_relaxed) > 0) {
+            ctl.park_cv.notify_one();
+          }
+        }
+        if (cur == nullptr) {
+          // Whole sweep came back empty-handed: rejoin the idle count.
+          ctl.idle.fetch_add(1, std::memory_order_seq_cst);
+        }
+        continue;  // dive if cur, else retry with termination checks
+      }
+      // Nothing visible anywhere: the glance above read every deque empty.
+      // Declare termination only if every worker is still idle AFTER that
+      // sweep, the stop flag stayed clear, and a re-sweep agrees. The
+      // seq_cst RMW read of `idle` doubles as the full barrier ordering
+      // the glance before the count (an RMW so the ordering is modeled by
+      // TSan, which cannot see standalone fences).
+      if (ctl.idle.fetch_add(0, std::memory_order_seq_cst) ==
+              static_cast<int>(nworkers) &&
+          !sh.stop.load(std::memory_order_relaxed)) {
+        bool still_empty = true;
+        for (std::size_t v = 0; v < nworkers && still_empty; ++v) {
+          still_empty = ctl.deques[v]->empty_hint();
+        }
+        if (still_empty) {
+          ctl.done.store(true, std::memory_order_release);
+          ctl.park_cv.notify_all();
+          finish();
+          return;
+        }
+      }
+      if (++spins < 32) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock lock(ctl.park_mutex);
+        ctl.park_cv.wait_for(lock, std::chrono::microseconds(200));
+      }
+    }
+    ctl.park_cv.notify_one();  // we left idle with work in hand; nudge a peer
+  }
+}
+
 }  // namespace
+
+std::string to_string(ParallelScheduler s) {
+  switch (s) {
+    case ParallelScheduler::kWorkStealing: return "ws";
+    case ParallelScheduler::kCentralQueue: return "central";
+  }
+  return "?";
+}
 
 ParallelResult solve_bnb_parallel(const SchedContext& ctx,
                                   const ParallelParams& pp) {
@@ -339,19 +659,19 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   SearchStats seed_stats;
   SearchObs seed_so;
   seed_so.bind(pp.base.observe, /*channel=*/0);
+  std::deque<WorkItem> seeds;
   {
     IncrementalLB seed_inc(ctx);
-    std::deque<WorkItem> frontier;
     WorkItem root;
     root.state = PartialSchedule::empty(ctx);
     root.lb = lower_bound_cost(ctx, root.state, pp.base.lb);
-    frontier.push_back(std::move(root));
+    seeds.push_back(std::move(root));
     std::vector<WorkItem> buf;
-    while (!frontier.empty() &&
-           frontier.size() < static_cast<std::size_t>(threads) * 4) {
+    while (!seeds.empty() &&
+           seeds.size() < static_cast<std::size_t>(threads) * 4) {
       if (sh.should_stop()) break;
-      const WorkItem item = std::move(frontier.front());
-      frontier.pop_front();
+      const WorkItem item = std::move(seeds.front());
+      seeds.pop_front();
       const Time seed_threshold = sh.threshold();
       if (pp.base.elim == ElimRule::kUDBAS && item.lb >= seed_threshold) {
         ++seed_stats.pruned_active;
@@ -366,58 +686,122 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       }
       buf.clear();
       expand(sh, seed_inc, item, buf, seed_stats, seed_so);
-      for (WorkItem& w : buf) frontier.push_back(std::move(w));
+      for (WorkItem& w : buf) seeds.push_back(std::move(w));
       seed_stats.peak_memory_bytes =
           std::max(seed_stats.peak_memory_bytes,
-                   frontier.size() * sizeof(WorkItem));
+                   seeds.size() * sizeof(WorkItem));
     }
-    for (WorkItem& w : frontier) sh.queue.push_back(std::move(w));
-    sh.queue_hint.store(sh.queue.size());
   }
   seed_so.flush(seed_stats);
 
-  if (!sh.queue.empty()) {
+  const bool ws = pp.scheduler == ParallelScheduler::kWorkStealing;
+  std::uint64_t leftover_disposed = 0;
+  if (!seeds.empty()) {
     std::vector<SearchStats> per_thread(static_cast<std::size_t>(threads));
     std::vector<SearchObs> per_obs(static_cast<std::size_t>(threads));
     for (int i = 0; i < threads; ++i) {
       per_obs[static_cast<std::size_t>(i)].bind(
           pp.base.observe, /*channel=*/static_cast<std::size_t>(i) + 1);
+      if (ws) {
+        per_obs[static_cast<std::size_t>(i)].bind_deque_depth(
+            pp.base.observe, static_cast<std::size_t>(i));
+      }
     }
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int i = 0; i < threads; ++i) {
-      pool.emplace_back([&sh, &per_thread, &per_obs, i] {
-        worker_loop(sh, per_thread[static_cast<std::size_t>(i)],
-                    per_obs[static_cast<std::size_t>(i)]);
-      });
-    }
-
-    // Time-limit supervisor (main thread); cancellation and the generated
-    // budget are polled by the workers themselves (Shared::should_stop).
     const double limit = pp.base.rb.time_limit_s;
-    if (std::isfinite(limit)) {
-      for (;;) {
-        {
-          const std::lock_guard lock(sh.queue_mutex);
-          if (sh.done) break;
+
+    if (ws) {
+      WsControl ctl(threads, pp.steal_batch);
+      // Round-robin seed distribution. Each worker's share is pushed in
+      // reverse, so its first pop_bottom yields its earliest (breadth-
+      // first-order) seed — matching the central queue's pop_front.
+      {
+        std::vector<std::vector<WsNode*>> share(
+            static_cast<std::size_t>(threads));
+        std::size_t k = 0;
+        for (const WorkItem& w : seeds) {
+          const std::size_t who = k++ % static_cast<std::size_t>(threads);
+          WsNode* const n = ctl.slabs[who]->alloc();
+          n->state = w.state;
+          n->lb = w.lb;
+          share[who].push_back(n);
         }
-        if (watch.seconds() >= limit) {
-          sh.request_stop(TerminationReason::kTimeLimit);
-          break;
+        for (std::size_t who = 0; who < share.size(); ++who) {
+          for (auto it = share[who].rbegin(); it != share[who].rend(); ++it) {
+            ctl.deques[who]->push_bottom(*it);
+          }
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      for (int i = 0; i < threads; ++i) {
+        pool.emplace_back([&sh, &ctl, &per_thread, &per_obs, i] {
+          ws_worker_loop(sh, ctl, static_cast<std::size_t>(i),
+                         per_thread[static_cast<std::size_t>(i)],
+                         per_obs[static_cast<std::size_t>(i)]);
+        });
+      }
+      // Time-limit supervisor (main thread); cancellation and the
+      // generated budget are polled by the workers (Shared::should_stop).
+      if (std::isfinite(limit)) {
+        while (!ctl.done.load() && !sh.stop.load()) {
+          if (watch.seconds() >= limit) {
+            sh.request_stop(TerminationReason::kTimeLimit);
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      for (auto& th : pool) th.join();
+      // Every exit path leaves the worker counted idle — the same
+      // invariant the central queue keeps under its mutex.
+      PARABB_ASSERT(ctl.idle.load() == threads);
+      // An early stop can leave stolen-then-abandoned vertices behind;
+      // count them like the central queue's leftovers. After the joins the
+      // main thread is the sole accessor, so owner ops are safe here.
+      for (const auto& d : ctl.deques) {
+        WsNode* n = nullptr;
+        while (d->pop_bottom(n)) ++leftover_disposed;
+      }
+      PARABB_ASSERT(sh.stop.load() || leftover_disposed == 0);
+    } else {
+      for (WorkItem& w : seeds) sh.queue.push_back(std::move(w));
+      sh.queue_hint.store(sh.queue.size());
+      for (int i = 0; i < threads; ++i) {
+        pool.emplace_back([&sh, &per_thread, &per_obs, i] {
+          worker_loop(sh, per_thread[static_cast<std::size_t>(i)],
+                      per_obs[static_cast<std::size_t>(i)]);
+        });
+      }
+      if (std::isfinite(limit)) {
+        for (;;) {
+          {
+            const std::lock_guard lock(sh.queue_mutex);
+            if (sh.done) break;
+          }
+          if (watch.seconds() >= limit) {
+            sh.request_stop(TerminationReason::kTimeLimit);
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      for (auto& th : pool) th.join();
+      {
+        const std::lock_guard lock(sh.queue_mutex);
+        PARABB_ASSERT(sh.idle == threads);
       }
     }
-    for (auto& th : pool) th.join();
     for (const SearchStats& s : per_thread) {
       merge_search_stats(result.stats, s);
     }
   }
   merge_search_stats(result.stats, seed_stats);
-  // Work left behind in the shared queue by an early stop was disposed of,
-  // the same way worker-local leftovers are counted inside worker_loop.
+  // Work left behind by an early stop — seeds never handed to a worker
+  // pool (central queue) or vertices abandoned in deques (work stealing) —
+  // was disposed of, the same way worker-local leftovers are counted
+  // inside the worker loops.
   const std::uint64_t queue_disposed =
-      sh.stop.load() ? sh.queue.size() : 0;
+      (sh.stop.load() ? sh.queue.size() : 0) + leftover_disposed;
   result.stats.disposed += queue_disposed;
   const TerminationReason reason = sh.stop.load()
                                        ? sh.stop_reason.load()
@@ -447,8 +831,8 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   }
   result.stats.seconds = watch.seconds();
   // Workers and the seed phase flushed their own counters; publish the
-  // remainder that only exists post-merge (queue leftovers disposed by an
-  // early stop, shared-table totals).
+  // remainder that only exists post-merge (leftovers disposed by an early
+  // stop, shared-table totals).
   if (pp.base.observe) {
     SearchObs fin;
     fin.bind(pp.base.observe, /*channel=*/0, /*with_flight=*/false);

@@ -21,6 +21,10 @@ const std::array<SearchStatsField, kSearchStatsFieldCount>
         {"tt_misses", &SearchStats::tt_misses},
         {"tt_evictions", &SearchStats::tt_evictions},
         {"tt_collisions", &SearchStats::tt_collisions},
+        {"steals_attempted", &SearchStats::steals_attempted,
+         "parabb_steals_attempted_total"},
+        {"steals_succeeded", &SearchStats::steals_succeeded,
+         "parabb_steals_succeeded_total"},
     }};
 
 void merge_search_stats(SearchStats& into, const SearchStats& from) {
@@ -49,9 +53,10 @@ void SearchObs::bind(const Observation* obs, std::size_t channel,
   if (!obs) return;
   if (obs->metrics) {
     for (std::size_t i = 0; i < kSearchStatsFieldCount; ++i) {
+      const SearchStatsField& f = kSearchStatsFields[i];
       counters_[i] = obs->metrics->counter(
-          std::string("parabb_search_") + kSearchStatsFields[i].name +
-          "_total");
+          f.metric ? std::string(f.metric)
+                   : std::string("parabb_search_") + f.name + "_total");
     }
     peak_active_ = obs->metrics->gauge("parabb_search_peak_active");
     peak_memory_ = obs->metrics->gauge("parabb_search_peak_memory_bytes");
@@ -60,6 +65,16 @@ void SearchObs::bind(const Observation* obs, std::size_t channel,
   if (with_flight && obs->recorder) {
     flight_ = &obs->recorder->channel(channel);
   }
+}
+
+void SearchObs::bind_deque_depth(const Observation* obs, std::size_t worker) {
+  if (!obs || !obs->metrics) return;
+  deque_depth_ = obs->metrics->gauge("parabb_deque_depth_w" +
+                                     std::to_string(worker));
+}
+
+void SearchObs::deque_depth(std::int64_t depth) noexcept {
+  if (deque_depth_) deque_depth_->set(depth);
 }
 
 void SearchObs::flush(const SearchStats& cur) {

@@ -34,11 +34,15 @@ class Gauge;
 
 struct SearchStatsField {
   const char* name;  ///< short name ("expanded"); metric is
-                     ///< parabb_search_<name>_total
+                     ///< parabb_search_<name>_total unless overridden
   std::uint64_t SearchStats::*member;
+  /// Full metric name override (null -> parabb_search_<name>_total). The
+  /// steal counters use it: their published names are
+  /// parabb_steals_*_total, not parabb_search_steals_*_total.
+  const char* metric = nullptr;
 };
 
-inline constexpr std::size_t kSearchStatsFieldCount = 12;
+inline constexpr std::size_t kSearchStatsFieldCount = 14;
 extern const std::array<SearchStatsField, kSearchStatsFieldCount>
     kSearchStatsFields;
 
@@ -59,6 +63,11 @@ class SearchObs {
   /// recorded elsewhere).
   void bind(const Observation* obs, std::size_t channel,
             bool with_flight = true);
+
+  /// Additionally binds the per-worker deque-depth gauge
+  /// (parabb_deque_depth_w<worker>); work-stealing workers call this
+  /// after bind() and publish their deque size at the flush cadence.
+  void bind_deque_depth(const Observation* obs, std::size_t worker);
 
   bool metrics_bound() const noexcept { return metrics_; }
 
@@ -93,6 +102,15 @@ class SearchObs {
       flight_->record(FlightEventKind::kDispose, FlightPruneRule::kNone, -1,
                       count);
   }
+  /// Successful steal: `victim` is the worker robbed, `count` the number
+  /// of vertices taken in the batch.
+  void steal(int victim, std::int64_t count) noexcept {
+    if (flight_)
+      flight_->record(FlightEventKind::kSteal, FlightPruneRule::kNone,
+                      clamp_level(victim), count);
+  }
+  /// Publishes the current work-stealing deque depth (flush cadence).
+  void deque_depth(std::int64_t depth) noexcept;
 
  private:
   static std::int16_t clamp_level(int level) noexcept {
@@ -106,6 +124,7 @@ class SearchObs {
   std::array<Counter*, kSearchStatsFieldCount> counters_{};
   Gauge* peak_active_ = nullptr;
   Gauge* peak_memory_ = nullptr;
+  Gauge* deque_depth_ = nullptr;
   SearchStats last_;
 };
 

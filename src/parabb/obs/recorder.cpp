@@ -14,6 +14,7 @@ std::string to_string(FlightEventKind k) {
     case FlightEventKind::kIncumbent: return "incumbent";
     case FlightEventKind::kBudget: return "budget";
     case FlightEventKind::kDispose: return "dispose";
+    case FlightEventKind::kSteal: return "steal";
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class FlightEventKind : std::uint8_t {
   kIncumbent,  ///< incumbent improved (value = new cost)
   kBudget,     ///< periodic checkpoint (value = generated vertices so far)
   kDispose,    ///< entries dropped by a storage bound (value = count)
+  kSteal,      ///< work-stealing batch taken (level = victim, value = count)
 };
 
 /// Why a kPrune event fired (mirrors the engines' cut sites).

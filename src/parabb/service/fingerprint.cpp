@@ -53,8 +53,14 @@ std::string request_key(const JobRequest& request) {
      << " rb=" << p.rb.time_limit_s << '/' << p.rb.max_active << '/'
      << p.rb.max_children << '/' << p.rb.max_generated << '/'
      << p.rb.max_memory_bytes << '\n';
-  os << "engine threads=" << (request.threads > 1 ? request.threads : 1)
-     << '\n';
+  os << "engine threads=" << (request.threads > 1 ? request.threads : 1);
+  // Scheduler/steal-batch only matter when the parallel engine runs; fold
+  // them in only then so sequential requests keep their existing keys.
+  if (request.threads > 1) {
+    os << " sched=" << to_string(request.scheduler)
+       << " steal_batch=" << request.steal_batch;
+  }
+  os << '\n';
   // Certified results carry the certificate text; a plain cached result
   // must never satisfy a certify request (or vice versa).
   os << "certify=" << request.certify << '\n';

@@ -189,6 +189,8 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
       ParallelParams pp;
       pp.base = params;
       pp.threads = req.threads;
+      pp.scheduler = req.scheduler;
+      pp.steal_batch = req.steal_batch;
       const ParallelResult r = solve_bnb_parallel(ctx, pp);
       out.found = r.found_solution;
       out.schedule = r.best;

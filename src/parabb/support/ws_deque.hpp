@@ -1,0 +1,223 @@
+// WsDeque: a growable Chase-Lev work-stealing deque.
+//
+// One owner thread pushes and pops at the *bottom* (LIFO, which keeps the
+// B&B dive depth-first and cache-hot); any number of thief threads steal
+// from the *top* (FIFO, so thieves take the oldest — shallowest — vertices,
+// whose subtrees are the largest and amortize the steal best).
+//
+// The algorithm is the classic Chase-Lev deque [Chase & Lev, SPAA'05] with
+// the C11 memory orders of Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" [PPoPP'13]:
+//
+//  * `top_` only ever increases, so an index compare-exchange can never
+//    ABA; `bottom_` is owner-private except for the thieves' acquire load.
+//  * push_bottom publishes the cell with a release store of `bottom_`;
+//    a thief's acquire load of `bottom_` therefore sees the cell contents.
+//  * pop_bottom decrements `bottom_` and *then* reads `top_` behind a
+//    seq_cst fence, so owner and thief cannot both miss each other's claim
+//    on the last element; the single-element case is arbitrated by a CAS
+//    on `top_` that at most one of them wins.
+//  * steal_top reads `top_`, fences, reads `bottom_`, reads the cell, and
+//    only then claims it by CAS on `top_`. A failed CAS means the element
+//    was won by the owner or another thief; the stale value read from the
+//    cell is discarded unread-by-anyone.
+//
+// Batched stealing ("steal half") is deliberately a *loop of single-item
+// CAS claims* (see steal_batch) rather than one CAS that advances `top_`
+// by k. A range claim computes k from a bottom_ value that may already be
+// stale: the owner can plain-pop (no CAS — that is the whole point of
+// Chase-Lev) an element inside the thief's intended [top, top+k) range
+// before the thief's CAS lands, and the CAS would still succeed because
+// only `top_` is compared — double-claiming the element. Single-item
+// claims never extend past the arbitration that the algorithm proves
+// correct; what the batch amortizes is victim selection, the top/bottom
+// cache-line transfer (consecutive CASes hit an already-exclusive line),
+// and the idle/termination bookkeeping in the scheduler above.
+//
+// Cells hold a trivially-copyable T (the engine stores WsNode pointers) in
+// std::atomic<T> with relaxed accesses: thieves may read a cell racily and
+// discard the value when their CAS fails, which is benign for the
+// algorithm but must be a *data-race-free* read for TSan and the standard.
+//
+// The buffer grows by doubling (owner-only, in push_bottom); retired
+// buffers are kept alive until the deque dies because a thief may still
+// hold a pointer to one mid-steal. Elements in flight during a grow are
+// copied index-stable: cell i lives at `i & mask` in every generation, and
+// a cell is never rewritten until `bottom_` laps it, which requires `top_`
+// to have passed it first — making any thief CAS on the old index fail.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "parabb/support/assert.hpp"
+
+// ThreadSanitizer has no model for standalone atomic_thread_fence (GCC
+// promotes its use to an error under -fsanitize=thread -Werror), so
+// sanitizer builds run the classical all-seq_cst formulation of the
+// algorithm instead: the fence-adjacent top_/bottom_ accesses are
+// strengthened to seq_cst, which subsumes the fence's store-load ordering
+// and which TSan models exactly. Release builds keep the PPoPP'13 orders.
+#if defined(__SANITIZE_THREAD__)
+#define PARABB_WS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARABB_WS_TSAN 1
+#endif
+#endif
+
+namespace parabb {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque cells are read racily; T must be memcpy-safe");
+
+ public:
+  /// `initial_capacity` is rounded up to a power of two (min 8).
+  explicit WsDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 8;
+    while (cap < initial_capacity) cap *= 2;
+    buffers_.push_back(std::make_unique<Buffer>(cap));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  // --- owner operations -------------------------------------------------
+
+  /// Appends `v` at the bottom. Owner thread only.
+  void push_bottom(T v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->cells[static_cast<std::size_t>(b) & buf->mask].store(
+        v, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Removes the bottom element into `out`; false when the deque is empty
+  /// (or the last element was lost to a thief). Owner thread only.
+  bool pop_bottom(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* const buf = buffer_.load(std::memory_order_relaxed);
+#ifdef PARABB_WS_TSAN
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
+    if (t > b) {  // was empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf->cells[static_cast<std::size_t>(b) & buf->mask].load(
+        std::memory_order_relaxed);
+    if (t < b) return true;  // more than one element: no race possible
+    // Single element: race the thieves for it with one CAS on top_.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+
+  // --- thief operations -------------------------------------------------
+
+  /// Steals the top element into `out`; false when empty or the claim
+  /// lost a race (callers treat both as "try elsewhere").
+  bool steal_top(T& out) {
+#ifdef PARABB_WS_TSAN
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
+    if (t >= b) return false;
+    Buffer* const buf = buffer_.load(std::memory_order_acquire);
+    const T v = buf->cells[static_cast<std::size_t>(t) & buf->mask].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  /// Steals up to `max_items` elements (oldest first) into `out`, stopping
+  /// at the first failed claim. Returns the number stolen. See the header
+  /// comment for why this is a loop of single claims, not a range CAS.
+  std::size_t steal_batch(T* out, std::size_t max_items) {
+    std::size_t got = 0;
+    while (got < max_items && steal_top(out[got])) ++got;
+    return got;
+  }
+
+  // --- introspection (any thread; approximate under concurrency) --------
+
+  /// bottom - top clamped at 0. Exact when no operation is in flight.
+  std::size_t size_hint() const noexcept {
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_hint() const noexcept { return size_hint() == 0; }
+
+  std::size_t capacity() const noexcept {
+    return buffer_.load(std::memory_order_acquire)->capacity;
+  }
+
+  /// Resident bytes across the live buffer and retired generations.
+  std::size_t memory_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& buf : buffers_) total += buf->capacity * sizeof(T);
+    return total;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          cells(std::make_unique<std::atomic<T>[]>(cap)) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  /// Doubles the buffer (owner only, called from push_bottom). The old
+  /// buffer is retired, not freed: thieves may still read through it.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->cells[static_cast<std::size_t>(i) & bigger->mask].store(
+          old->cells[static_cast<std::size_t>(i) & old->mask].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    Buffer* const fresh = bigger.get();
+    buffers_.push_back(std::move(bigger));
+    buffer_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  ///< all generations (owner)
+};
+
+}  // namespace parabb

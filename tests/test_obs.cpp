@@ -484,5 +484,66 @@ TEST(ObserveDifferential, ParallelEngineMultiThreadSameOptimum) {
             on.stats.expanded);
 }
 
+// The central-queue scheduler (kept as the benchmark baseline) must hold
+// the same observe-off/on byte-identical contract as the work-stealing
+// default (exercised by ParallelEngineSingleThreadByteIdentical above).
+TEST(ObserveDifferential, CentralQueueSingleThreadByteIdentical) {
+  const TaskGraph g = test::tight_instance(11);
+  const SchedContext ctx = test::make_ctx(g, 3);
+  ParallelParams pp;
+  pp.threads = 1;
+  pp.scheduler = ParallelScheduler::kCentralQueue;
+
+  const ParallelResult off = solve_bnb_parallel(ctx, pp);
+
+  MetricsRegistry reg;
+  Observation ob;
+  ob.metrics = &reg;
+  ParallelParams pp_on = pp;
+  pp_on.base.observe = &ob;
+  const ParallelResult on = solve_bnb_parallel(ctx, pp_on);
+
+  EXPECT_EQ(on.best_cost, off.best_cost);
+  EXPECT_EQ(on.proved, off.proved);
+  expect_stats_equal(on.stats, off.stats);
+  ASSERT_TRUE(on.found_solution);
+  EXPECT_EQ(schedule_to_text(on.best, g), schedule_to_text(off.best, g));
+}
+
+// Work-stealing observability surface (ISSUE 8): an observed multi-thread
+// run publishes the steal counters and one deque-depth gauge per worker,
+// and the counter totals equal the engine's merged stats.
+TEST(ObserveParallel, WorkStealingPublishesStealMetricsAndDequeGauges) {
+  const TaskGraph g = test::tight_instance(7);
+  const SchedContext ctx = test::make_ctx(g, 3);
+  MetricsRegistry reg;
+  FlightRecorder rec(256);
+  Observation ob;
+  ob.metrics = &reg;
+  ob.recorder = &rec;
+  ParallelParams pp;
+  pp.threads = 4;
+  pp.steal_batch = 1;  // maximize steal traffic
+  pp.base.observe = &ob;
+  const ParallelResult r = solve_bnb_parallel(ctx, pp);
+  ASSERT_TRUE(r.proved);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* attempted = snap.find_counter("parabb_steals_attempted_total");
+  const auto* succeeded = snap.find_counter("parabb_steals_succeeded_total");
+  ASSERT_NE(attempted, nullptr);
+  ASSERT_NE(succeeded, nullptr);
+  EXPECT_EQ(attempted->value, r.stats.steals_attempted);
+  EXPECT_EQ(succeeded->value, r.stats.steals_succeeded);
+  EXPECT_LE(succeeded->value, attempted->value);
+  // One depth gauge per worker, flushed to 0 on worker exit.
+  for (int w = 0; w < 4; ++w) {
+    const auto* gauge =
+        snap.find_gauge("parabb_deque_depth_w" + std::to_string(w));
+    ASSERT_NE(gauge, nullptr) << "worker " << w;
+    EXPECT_EQ(gauge->value, 0);
+  }
+}
+
 }  // namespace
 }  // namespace parabb

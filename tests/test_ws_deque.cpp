@@ -1,0 +1,200 @@
+// Chase–Lev deque unit and stress tests (ISSUE 8).
+//
+// The single-threaded tests pin the order contract the scheduler relies on
+// (owner pops LIFO from the bottom, thieves take FIFO from the top, growth
+// preserves both), and the stress tests drive a real owner + several
+// thieves and require every pushed value to be claimed exactly once — the
+// property the work-stealing engine's correctness rests on (a lost vertex
+// is a wrong answer; a duplicated vertex is double-expansion). Run under
+// PARABB_SANITIZE=thread to certify the memory orders.
+#include "parabb/support/ws_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace parabb {
+namespace {
+
+TEST(WsDeque, OwnerPopsLifo) {
+  WsDeque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 10; ++i) d.push_bottom(i);
+  EXPECT_EQ(d.size_hint(), 10u);
+  for (std::int64_t i = 9; i >= 0; --i) {
+    std::int64_t v = -1;
+    ASSERT_TRUE(d.pop_bottom(v));
+    EXPECT_EQ(v, i);
+  }
+  std::int64_t v = -1;
+  EXPECT_FALSE(d.pop_bottom(v));
+  EXPECT_TRUE(d.empty_hint());
+}
+
+TEST(WsDeque, ThievesStealFifo) {
+  WsDeque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 10; ++i) d.push_bottom(i);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    std::int64_t v = -1;
+    ASSERT_TRUE(d.steal_top(v));
+    EXPECT_EQ(v, i);  // oldest (shallowest) first
+  }
+  std::int64_t v = -1;
+  EXPECT_FALSE(d.steal_top(v));
+}
+
+TEST(WsDeque, OppositeEndsMeetInTheMiddle) {
+  WsDeque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 6; ++i) d.push_bottom(i);
+  std::int64_t v = -1;
+  ASSERT_TRUE(d.steal_top(v));
+  EXPECT_EQ(v, 0);
+  ASSERT_TRUE(d.pop_bottom(v));
+  EXPECT_EQ(v, 5);
+  ASSERT_TRUE(d.steal_top(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(d.pop_bottom(v));
+  EXPECT_EQ(v, 4);
+  EXPECT_EQ(d.size_hint(), 2u);
+}
+
+TEST(WsDeque, GrowthPreservesContentsAndOrder) {
+  WsDeque<std::int64_t> d(8);
+  const std::size_t initial = d.capacity();
+  const std::int64_t n = static_cast<std::int64_t>(initial) * 4;
+  for (std::int64_t i = 0; i < n; ++i) d.push_bottom(i);
+  EXPECT_GT(d.capacity(), initial);
+  EXPECT_EQ(d.size_hint(), static_cast<std::size_t>(n));
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    std::int64_t v = -1;
+    ASSERT_TRUE(d.pop_bottom(v));
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST(WsDeque, StealBatchTakesOldestFirstUpToCap) {
+  WsDeque<std::int64_t> d;
+  for (std::int64_t i = 0; i < 10; ++i) d.push_bottom(i);
+  std::int64_t buf[4] = {-1, -1, -1, -1};
+  EXPECT_EQ(d.steal_batch(buf, 4), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(buf[i], i);
+  EXPECT_EQ(d.size_hint(), 6u);
+  // Asking for more than remains yields exactly what remains.
+  std::int64_t rest[16];
+  EXPECT_EQ(d.steal_batch(rest, 16), 6u);
+  EXPECT_EQ(rest[0], 4);
+  EXPECT_EQ(rest[5], 9);
+  EXPECT_EQ(d.steal_batch(rest, 16), 0u);
+}
+
+TEST(WsDeque, ReusableAfterDraining) {
+  WsDeque<std::int64_t> d(8);
+  for (int round = 0; round < 50; ++round) {
+    for (std::int64_t i = 0; i < 20; ++i) d.push_bottom(i);
+    std::int64_t v = -1;
+    std::size_t got = 0;
+    while (d.pop_bottom(v)) ++got;
+    EXPECT_EQ(got, 20u);
+  }
+}
+
+// Exactly-once delivery under a real owner and several concurrent thieves.
+// The owner pushes `kItems` distinct values while interleaving pops; the
+// thieves hammer steal_batch. Afterwards the union of everything the owner
+// popped and everything the thieves stole must be exactly {0, ...,
+// kItems-1} — no value lost, none duplicated.
+TEST(WsDeque, ConcurrentOwnerAndThievesClaimExactlyOnce) {
+  constexpr std::int64_t kItems = 200000;
+  constexpr int kThieves = 3;
+  WsDeque<std::int64_t> d(64);
+  std::atomic<bool> open{true};
+  std::vector<std::int64_t> owner_got;
+  std::vector<std::vector<std::int64_t>> thief_got(kThieves);
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&d, &open, &thief_got, t] {
+      std::int64_t buf[8];
+      for (;;) {
+        const std::size_t got = d.steal_batch(buf, 8);
+        for (std::size_t i = 0; i < got; ++i)
+          thief_got[static_cast<std::size_t>(t)].push_back(buf[i]);
+        if (got == 0 && !open.load(std::memory_order_acquire)) {
+          // Owner is done pushing; one final sweep below, then quit.
+          if (d.steal_batch(buf, 8) == 0) return;
+          continue;
+        }
+      }
+    });
+  }
+
+  // Owner: push in bursts, pop a few between bursts (mimicking a dive).
+  std::int64_t next = 0;
+  while (next < kItems) {
+    for (int burst = 0; burst < 7 && next < kItems; ++burst)
+      d.push_bottom(next++);
+    std::int64_t v = -1;
+    for (int pops = 0; pops < 3; ++pops)
+      if (d.pop_bottom(v)) owner_got.push_back(v);
+  }
+  // Drain what the thieves leave behind.
+  std::int64_t v = -1;
+  while (d.pop_bottom(v)) owner_got.push_back(v);
+  open.store(false, std::memory_order_release);
+  for (std::thread& th : thieves) th.join();
+  while (d.pop_bottom(v)) owner_got.push_back(v);  // stragglers
+
+  std::vector<std::int64_t> all = owner_got;
+  for (const auto& tg : thief_got) all.insert(all.end(), tg.begin(), tg.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < kItems; ++i) ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+// Same exactly-once property while the deque is forced through repeated
+// growth (tiny initial capacity, deep bursts), so the grow() publication
+// path is exercised while thieves race it.
+TEST(WsDeque, ConcurrentStealsSurviveGrowth) {
+  constexpr std::int64_t kItems = 50000;
+  WsDeque<std::int64_t> d(8);
+  std::atomic<bool> open{true};
+  std::vector<std::int64_t> stolen;
+  std::thread thief([&d, &open, &stolen] {
+    std::int64_t v = -1;
+    for (;;) {
+      if (d.steal_top(v)) {
+        stolen.push_back(v);
+      } else if (!open.load(std::memory_order_acquire)) {
+        if (!d.steal_top(v)) return;
+        stolen.push_back(v);
+      }
+    }
+  });
+  std::vector<std::int64_t> owner_got;
+  std::int64_t next = 0;
+  while (next < kItems) {
+    for (int burst = 0; burst < 100 && next < kItems; ++burst)
+      d.push_bottom(next++);  // bursts far beyond the initial capacity
+    std::int64_t v = -1;
+    for (int pops = 0; pops < 40; ++pops)
+      if (d.pop_bottom(v)) owner_got.push_back(v);
+  }
+  std::int64_t v = -1;
+  while (d.pop_bottom(v)) owner_got.push_back(v);
+  open.store(false, std::memory_order_release);
+  thief.join();
+  while (d.pop_bottom(v)) owner_got.push_back(v);
+
+  std::vector<std::int64_t> all = owner_got;
+  all.insert(all.end(), stolen.begin(), stolen.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < kItems; ++i) ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace parabb
