@@ -57,6 +57,13 @@ class ActiveSet {
   /// disposed (== count unless the set is smaller).
   std::size_t dispose_worst(std::size_t count);
 
+  /// Degradation-ladder support (robust/degrade.hpp, kDF rung): switch
+  /// selection to LIFO so the search degenerates into a depth-first dive
+  /// that reaches leaves — and therefore incumbents — under memory
+  /// pressure. Existing entries keep their container order (for a heap,
+  /// an arbitrary but valid order); newly pushed children pop first.
+  void degrade_to_lifo() noexcept { rule_ = SelectRule::kLIFO; }
+
  private:
   bool heap_less(const VertexEntry& a, const VertexEntry& b) const noexcept;
 

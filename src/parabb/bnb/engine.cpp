@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "parabb/bnb/trace.hpp"
 #include "parabb/bnb/transposition.hpp"
 #include "parabb/bnb/vertex.hpp"
+#include "parabb/robust/fault.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
 #include "parabb/support/inline_vector.hpp"
@@ -113,8 +115,23 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   if (params.transposition.enabled) {
     tt = std::make_unique<TranspositionTable>(params.transposition);
   }
+  // Counters rescued when the degradation ladder sheds the table mid-run.
+  bool tt_shed = false;
+  TranspositionCounters tt_shed_counters{};
 
-  SlotPool pool(sizeof(Vertex), 8192);
+  // Unbudgeted runs allocate in large chunks for throughput. A finite
+  // memory budget shrinks the granularity to ~1/64 of the budget (floor
+  // 64 slots) so the capacity cliff below and the degradation ladder see
+  // the budget at fine resolution instead of overshooting it by a whole
+  // 8192-slot chunk — a sub-chunk budget would otherwise trip the cliff
+  // on the very first allocation.
+  std::size_t slots_per_chunk = 8192;
+  if (params.rb.max_memory_bytes != std::numeric_limits<std::size_t>::max()) {
+    const std::size_t budget_slots =
+        params.rb.max_memory_bytes / sizeof(Vertex);
+    slots_per_chunk = std::clamp<std::size_t>(budget_slots / 64, 64, 8192);
+  }
+  SlotPool pool(sizeof(Vertex), slots_per_chunk);
   // ActiveSet::prune_worse releases entries through this callback; while
   // `certify_releases` is armed (only around prune_worse, never around
   // dispose_worst — disposals are losses, not justified cuts) each
@@ -148,6 +165,19 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
 
   IncrementalLB inc(ctx);
 
+  // Graceful-degradation ladder (robust/degrade.hpp): consulted only at
+  // the amortized poll point, and only when enabled with a finite memory
+  // budget; otherwise `branch_rule` / `effective_max_children` hold the
+  // caller's values for the whole run (byte-identical to pre-ladder).
+  const DegradeSchedule degrade_sched = DegradeSchedule::from(params.degrade);
+  const bool ladder_on =
+      degrade_sched.count > 0 &&
+      params.rb.max_memory_bytes != std::numeric_limits<std::size_t>::max();
+  int degrade_level = 0;
+  BranchRule branch_rule = params.branch;
+  SelectRule effective_select = params.select;
+  int effective_max_children = params.rb.max_children;
+
   bool compromised = false;  // an RB storage bound forced vertex disposal
   // Least bound of any vertex lost to a storage bound; with the monotone
   // bounds of this problem, every pruned subtree's cost is >= its root's
@@ -161,298 +191,386 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   result.reason = TerminationReason::kExhausted;
 
   // --- Step 3-10: main loop. ---
-  while (!as.empty()) {
-    // Deterministic effort caps are enforced exactly (two comparisons per
-    // expansion): the service's golden tests rely on a max_generated
-    // budget tripping at the same vertex on every run.
-    if (stats.generated >= params.rb.max_generated ||
-        pool.memory_bytes() >= params.rb.max_memory_bytes) {
-      result.reason = TerminationReason::kBudget;
-      break;
-    }
-    // Cancellation / wall-clock polls are amortized over 256 expansions
-    // so the checks (one relaxed load, one clock read) stay off the hot
-    // path.
-    if ((++iter & 0xFFu) == 0) {
-      so.budget_checkpoint(static_cast<std::int64_t>(stats.generated));
-      so.flush(stats);
-      if (params.cancel && params.cancel->cancelled()) {
-        result.reason = TerminationReason::kCancelled;
+  try {
+    while (!as.empty()) {
+      // Deterministic effort caps are enforced exactly (two comparisons per
+      // expansion): the service's golden tests rely on a max_generated
+      // budget tripping at the same vertex on every run.
+      if (stats.generated >= params.rb.max_generated ||
+          pool.memory_bytes() >= params.rb.max_memory_bytes) {
+        result.reason = TerminationReason::kBudget;
         break;
       }
-      if (watch.seconds() > params.rb.time_limit_s) {
-        result.reason = TerminationReason::kTimeLimit;
-        break;
-      }
-    }
-
-    const Time threshold = prune_threshold(incumbent, params.br);
-
-    // Step 4-5: select vertex v_b; apply the rule's stop condition. The
-    // bound test doubles as deferred U/DBAS for vertices that became
-    // hopeless after they were pushed.
-    if (params.elim == ElimRule::kUDBAS || params.select == SelectRule::kLLB) {
-      if (as.peek().lb >= threshold) {
-        if (params.select == SelectRule::kLLB) {
-          // Least bound already >= incumbent: nothing can improve.
-          result.reason = TerminationReason::kBoundStop;
+      // Cancellation / wall-clock polls are amortized over 256 expansions
+      // so the checks (one relaxed load, one clock read) stay off the hot
+      // path.
+      if ((++iter & 0xFFu) == 0) {
+        so.budget_checkpoint(static_cast<std::int64_t>(stats.generated));
+        so.flush(stats);
+        if (params.progress) {
+          params.progress->store(stats.generated, std::memory_order_relaxed);
+        }
+        if (params.faults) {
+          params.faults->at_poll(stats.generated);
+          if (params.faults->cancel_requested(stats.generated)) {
+            result.reason = TerminationReason::kCancelled;
+            break;
+          }
+        }
+        if (params.cancel && params.cancel->cancelled()) {
+          result.reason = TerminationReason::kCancelled;
           break;
         }
-        if (params.elim == ElimRule::kUDBAS) {
-          const VertexEntry e = as.pop();
+        double elapsed = watch.seconds();
+        if (params.faults) elapsed += params.faults->clock_skew_s(stats.generated);
+        if (elapsed > params.rb.time_limit_s) {
+          result.reason = TerminationReason::kTimeLimit;
+          break;
+        }
+        // Step down the degradation ladder while live vertex memory sits
+        // above the next high-water fraction of the budget. Branch-rule and
+        // MAXSZDB rungs make the search incomplete from here on, so they
+        // compromise the proof and floor the gap certificate like a disposal
+        // does: every subtree lost downstream roots at a current AS vertex
+        // (or a descendant), whose bound is >= the AS minimum now.
+        while (ladder_on && degrade_level < degrade_sched.count &&
+               degrade_sched.target_level(pool.live_count() * pool.slot_bytes(),
+                                          params.rb.max_memory_bytes) >
+                   degrade_level) {
+          const DegradeAction action =
+              degrade_sched.rungs[static_cast<std::size_t>(degrade_level)]
+                  .action;
+          ++degrade_level;
+          switch (action) {
+            case DegradeAction::kShedTT:
+              if (tt) {
+                const TranspositionCounters tc = tt->counters();
+                tt_shed_counters = tc;
+                tt_shed = true;
+                tt.reset();  // duplicate pruning only: completeness kept
+              }
+              break;
+            case DegradeAction::kTightenDB:
+              effective_max_children =
+                  std::min(effective_max_children,
+                           std::max(1, ctx.proc_count() *
+                                           params.degrade
+                                               .tightened_children_per_proc));
+              compromised = true;
+              if (!as.empty()) {
+                compromise_floor = std::min(compromise_floor, as.min_lb());
+              }
+              break;
+            case DegradeAction::kBF1:
+              if (branch_rule == BranchRule::kBFn) branch_rule = BranchRule::kBF1;
+              compromised = true;
+              if (!as.empty()) {
+                compromise_floor = std::min(compromise_floor, as.min_lb());
+              }
+              break;
+            case DegradeAction::kDF:
+              // Last resort before the cliff: degenerate into a
+              // depth-first dive — branching *and* selection — so the
+              // remaining memory buys a leaf (an incumbent) instead of
+              // more frontier.
+              branch_rule = BranchRule::kDF;
+              effective_select = SelectRule::kLIFO;
+              as.degrade_to_lifo();
+              compromised = true;
+              if (!as.empty()) {
+                compromise_floor = std::min(compromise_floor, as.min_lb());
+              }
+              break;
+          }
+          ++stats.degrade_steps;
+          so.degrade(degrade_level, static_cast<std::int64_t>(action));
           if (params.certify) {
-            const auto* v = static_cast<const Vertex*>(pool.get(e.ref));
+            params.certify->record_degrade(to_string(action), stats.generated,
+                                           degrade_level);
+          }
+        }
+      }
+
+      const Time threshold = prune_threshold(incumbent, params.br);
+
+      // Step 4-5: select vertex v_b; apply the rule's stop condition. The
+      // bound test doubles as deferred U/DBAS for vertices that became
+      // hopeless after they were pushed.
+      if (params.elim == ElimRule::kUDBAS ||
+          effective_select == SelectRule::kLLB) {
+        if (as.peek().lb >= threshold) {
+          if (effective_select == SelectRule::kLLB) {
+            // Least bound already >= incumbent: nothing can improve.
+            result.reason = TerminationReason::kBoundStop;
+            break;
+          }
+          if (params.elim == ElimRule::kUDBAS) {
+            const VertexEntry e = as.pop();
+            if (params.certify) {
+              const auto* v = static_cast<const Vertex*>(pool.get(e.ref));
+              params.certify->record_cut(
+                  ctx, v->state,
+                  bound_cut_rule(ctx, v->state, params.lb, threshold), e.lb);
+            }
+            pool.release(e.ref);
+            ++stats.pruned_active;
+            so.prune(FlightPruneRule::kBound, -1, e.lb);
+            continue;
+          }
+        }
+      }
+
+      const VertexEntry entry = as.pop();
+      const PartialSchedule parent =
+          static_cast<const Vertex*>(pool.get(entry.ref))->state;
+      pool.release(entry.ref);
+      ++stats.expanded;
+      so.expand(parent.count(), entry.lb);
+      if (params.trace) {
+        params.trace->record(TraceEvent::kExpand, parent.count(), entry.lb);
+      }
+
+      // Step 6-7: branch (rule B) and bound (function L). Children are
+      // evaluated zero-copy: one scratch state per expansion, each candidate
+      // via place → bound → unplace; only survivors are copied, straight into
+      // their pool slot.
+      staged.clear();
+      const auto tasks = branch_tasks(ctx, branch_rule, parent.ready());
+      const int child_count = parent.count() + 1;
+      // When every child is a goal its bound is its exact cost and may beat
+      // the incumbent even at or above the BR-relaxed threshold, so the
+      // short-circuit must not fire. Likewise keep bounds exact while a
+      // trace listens (it records lb values of pruned children), under
+      // E = none (pruned-vs-kept is not decided by the threshold alone),
+      // and while certifying (the audit log must carry exact bounds).
+      const bool goal_children = child_count == ctx.task_count();
+      const Time cutoff =
+          (params.incremental_lb && params.elim == ElimRule::kUDBAS &&
+           !goal_children && params.trace == nullptr &&
+           params.certify == nullptr)
+              ? threshold
+              : kTimeInf;
+      PartialSchedule cur = parent;
+      inc.attach(cur);
+      Time best_goal = kTimeInf;
+      PartialSchedule best_goal_state;
+      bool have_goal = false;
+      int children = 0;
+      for (const TaskId t : tasks) {
+        for (ProcId p = 0; p < ctx.proc_count(); ++p) {
+          if (children >= effective_max_children) {
+            compromised = true;  // MAXSZDB truncated the child set
+            compromise_floor = std::min(compromise_floor, entry.lb);
+            break;
+          }
+          ++children;
+          ++stats.generated;
+          inc.place(cur, t, p);
+          const Time lb = params.incremental_lb
+                              ? inc.evaluate(cur, params.lb, cutoff)
+                              : lower_bound_cost(ctx, cur, params.lb);
+
+          bool keep = false;
+          if (goal_children) {
+            // Goal vertex: candidate new upper-bound solution (Figure 2).
+            ++stats.goals;
+            if (params.trace) {
+              params.trace->record(TraceEvent::kGoal, child_count, lb);
+            }
+            if (lb < best_goal) {
+              best_goal = lb;
+              best_goal_state = cur;
+              have_goal = true;
+            }
+          } else if (params.characteristic &&
+                     !params.characteristic(ctx, cur)) {
+            ++stats.pruned_children;  // F: cannot extend to a valid solution
+            so.prune(FlightPruneRule::kCharacteristic, child_count, lb);
+            if (params.trace) {
+              params.trace->record(TraceEvent::kPruneChild, child_count, lb);
+            }
+            if (params.certify) {
+              params.certify->record_cut(ctx, cur, CutRule::kCharacteristic,
+                                         lb);
+            }
+          } else if (params.elim == ElimRule::kUDBAS && lb >= threshold) {
+            ++stats.pruned_children;  // E applied to DB
+            so.prune(FlightPruneRule::kBound, child_count, lb);
+            if (params.trace) {
+              params.trace->record(TraceEvent::kPruneChild, child_count, lb);
+            }
+            if (params.certify) {
+              params.certify->record_cut(
+                  ctx, cur, bound_cut_rule(ctx, cur, params.lb, threshold),
+                  lb);
+            }
+          } else if (tt && tt->seen_or_insert(cur, lb)) {
+            ++stats.pruned_children;  // duplicate of an already-seen state
+            so.prune(FlightPruneRule::kTransposition, child_count, lb);
+            if (params.trace) {
+              params.trace->record(TraceEvent::kTransposition, child_count,
+                                   lb);
+            }
+            if (params.certify) {
+              params.certify->record_cut(ctx, cur, CutRule::kTransposition,
+                                         lb);
+            }
+          } else {
+            keep = true;
+          }
+          if (keep) {
+            if (params.faults) params.faults->on_alloc(stats.generated);
+            const SlotRef ref = pool.allocate();
+            static_cast<Vertex*>(pool.get(ref))->state = cur;
+            staged.push_back(StagedChild{lb, children, ref});
+          }
+          inc.unplace(cur, t);
+        }
+        if (children >= effective_max_children) break;
+      }
+
+      // Incumbent update from the cheapest goal in DB (goal vertices never
+      // enter the active set).
+      bool improved = false;
+      if (have_goal && best_goal < incumbent) {
+        incumbent = best_goal;
+        result.best = Schedule::from_partial(ctx, best_goal_state);
+        result.found_solution = true;
+        ++stats.goal_updates;
+        improved = true;
+        so.incumbent(ctx.task_count(), incumbent);
+        if (params.trace) {
+          params.trace->record(TraceEvent::kIncumbent, ctx.task_count(),
+                               incumbent);
+        }
+      }
+
+      // D: optional pairwise dominance filter among siblings.
+      if (params.dominance && staged.size() > 1) {
+        const auto state_of = [&](const StagedChild& c) -> const PartialSchedule& {
+          return static_cast<const Vertex*>(pool.get(c.ref))->state;
+        };
+        std::vector<char> dead(staged.size(), 0);
+        for (std::size_t i = 0; i < staged.size(); ++i) {
+          if (dead[i]) continue;
+          for (std::size_t j = 0; j < staged.size(); ++j) {
+            if (i == j || dead[j]) continue;
+            if (params.dominance(ctx, state_of(staged[i]),
+                                 state_of(staged[j])))
+              dead[j] = 1;
+          }
+        }
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < staged.size(); ++i) {
+          if (!dead[i]) {
+            staged[w++] = staged[i];
+          } else {
+            ++stats.pruned_children;
+            so.prune(FlightPruneRule::kDominance, child_count, staged[i].lb);
+            if (params.trace) {
+              params.trace->record(TraceEvent::kPruneChild, child_count,
+                                   staged[i].lb);
+            }
+            if (params.certify) {
+              params.certify->record_cut(ctx, state_of(staged[i]),
+                                         CutRule::kDominance, staged[i].lb);
+            }
+            pool.release(staged[i].ref);
+          }
+        }
+        staged.resize(w);
+      }
+
+      // Step 8 applied to AS: a better incumbent invalidates queued vertices.
+      if (improved && params.elim == ElimRule::kUDBAS) {
+        const Time fresh = prune_threshold(incumbent, params.br);
+        if (params.certify) {
+          certify_releases = true;
+          release_threshold = fresh;
+        }
+        const std::size_t removed = as.prune_worse(fresh);
+        certify_releases = false;
+        stats.pruned_active += removed;
+        if (removed > 0) {
+          so.prune(FlightPruneRule::kBound, -1,
+                   static_cast<std::int64_t>(removed));
+        }
+        if (params.trace && removed > 0) {
+          params.trace->record(TraceEvent::kPruneActive, -1,
+                               static_cast<Time>(removed));
+        }
+        // Staged children were bounded against the stale threshold.
+        std::erase_if(staged, [&](const StagedChild& c) {
+          if (c.lb < fresh) return false;
+          ++stats.pruned_children;
+          so.prune(FlightPruneRule::kBound, child_count, c.lb);
+          if (params.trace) {
+            params.trace->record(TraceEvent::kPruneChild, child_count, c.lb);
+          }
+          if (params.certify) {
+            const auto* v = static_cast<const Vertex*>(pool.get(c.ref));
             params.certify->record_cut(
                 ctx, v->state,
-                bound_cut_rule(ctx, v->state, params.lb, threshold), e.lb);
+                bound_cut_rule(ctx, v->state, params.lb, fresh), c.lb);
           }
-          pool.release(e.ref);
-          ++stats.pruned_active;
-          so.prune(FlightPruneRule::kBound, -1, e.lb);
-          continue;
-        }
+          pool.release(c.ref);
+          return true;
+        });
       }
-    }
 
-    const VertexEntry entry = as.pop();
-    const PartialSchedule parent =
-        static_cast<const Vertex*>(pool.get(entry.ref))->state;
-    pool.release(entry.ref);
-    ++stats.expanded;
-    so.expand(parent.count(), entry.lb);
-    if (params.trace) {
-      params.trace->record(TraceEvent::kExpand, parent.count(), entry.lb);
-    }
-
-    // Step 6-7: branch (rule B) and bound (function L). Children are
-    // evaluated zero-copy: one scratch state per expansion, each candidate
-    // via place → bound → unplace; only survivors are copied, straight into
-    // their pool slot.
-    staged.clear();
-    const auto tasks = branch_tasks(ctx, params.branch, parent.ready());
-    const int child_count = parent.count() + 1;
-    // When every child is a goal its bound is its exact cost and may beat
-    // the incumbent even at or above the BR-relaxed threshold, so the
-    // short-circuit must not fire. Likewise keep bounds exact while a
-    // trace listens (it records lb values of pruned children), under
-    // E = none (pruned-vs-kept is not decided by the threshold alone),
-    // and while certifying (the audit log must carry exact bounds).
-    const bool goal_children = child_count == ctx.task_count();
-    const Time cutoff =
-        (params.incremental_lb && params.elim == ElimRule::kUDBAS &&
-         !goal_children && params.trace == nullptr &&
-         params.certify == nullptr)
-            ? threshold
-            : kTimeInf;
-    PartialSchedule cur = parent;
-    inc.attach(cur);
-    Time best_goal = kTimeInf;
-    PartialSchedule best_goal_state;
-    bool have_goal = false;
-    int children = 0;
-    for (const TaskId t : tasks) {
-      for (ProcId p = 0; p < ctx.proc_count(); ++p) {
-        if (children >= params.rb.max_children) {
-          compromised = true;  // MAXSZDB truncated the child set
-          compromise_floor = std::min(compromise_floor, entry.lb);
-          break;
-        }
-        ++children;
-        ++stats.generated;
-        inc.place(cur, t, p);
-        const Time lb = params.incremental_lb
-                            ? inc.evaluate(cur, params.lb, cutoff)
-                            : lower_bound_cost(ctx, cur, params.lb);
-
-        bool keep = false;
-        if (goal_children) {
-          // Goal vertex: candidate new upper-bound solution (Figure 2).
-          ++stats.goals;
-          if (params.trace) {
-            params.trace->record(TraceEvent::kGoal, child_count, lb);
-          }
-          if (lb < best_goal) {
-            best_goal = lb;
-            best_goal_state = cur;
-            have_goal = true;
-          }
-        } else if (params.characteristic &&
-                   !params.characteristic(ctx, cur)) {
-          ++stats.pruned_children;  // F: cannot extend to a valid solution
-          so.prune(FlightPruneRule::kCharacteristic, child_count, lb);
-          if (params.trace) {
-            params.trace->record(TraceEvent::kPruneChild, child_count, lb);
-          }
-          if (params.certify) {
-            params.certify->record_cut(ctx, cur, CutRule::kCharacteristic,
-                                       lb);
-          }
-        } else if (params.elim == ElimRule::kUDBAS && lb >= threshold) {
-          ++stats.pruned_children;  // E applied to DB
-          so.prune(FlightPruneRule::kBound, child_count, lb);
-          if (params.trace) {
-            params.trace->record(TraceEvent::kPruneChild, child_count, lb);
-          }
-          if (params.certify) {
-            params.certify->record_cut(
-                ctx, cur, bound_cut_rule(ctx, cur, params.lb, threshold),
-                lb);
-          }
-        } else if (tt && tt->seen_or_insert(cur, lb)) {
-          ++stats.pruned_children;  // duplicate of an already-seen state
-          so.prune(FlightPruneRule::kTransposition, child_count, lb);
-          if (params.trace) {
-            params.trace->record(TraceEvent::kTransposition, child_count,
-                                 lb);
-          }
-          if (params.certify) {
-            params.certify->record_cut(ctx, cur, CutRule::kTransposition,
-                                       lb);
-          }
-        } else {
-          keep = true;
-        }
-        if (keep) {
-          const SlotRef ref = pool.allocate();
-          static_cast<Vertex*>(pool.get(ref))->state = cur;
-          staged.push_back(StagedChild{lb, children, ref});
-        }
-        inc.unplace(cur, t);
+      // Step 9: move surviving children into AS, most promising popped first
+      // for the stack/queue disciplines.
+      if (params.sort_children && effective_select != SelectRule::kLLB) {
+        std::sort(staged.begin(), staged.end(),
+                  [](const StagedChild& a, const StagedChild& b) {
+                    if (a.lb != b.lb) return a.lb > b.lb;
+                    return a.order > b.order;
+                  });
       }
-      if (children >= params.rb.max_children) break;
-    }
-
-    // Incumbent update from the cheapest goal in DB (goal vertices never
-    // enter the active set).
-    bool improved = false;
-    if (have_goal && best_goal < incumbent) {
-      incumbent = best_goal;
-      result.best = Schedule::from_partial(ctx, best_goal_state);
-      result.found_solution = true;
-      ++stats.goal_updates;
-      improved = true;
-      so.incumbent(ctx.task_count(), incumbent);
-      if (params.trace) {
-        params.trace->record(TraceEvent::kIncumbent, ctx.task_count(),
-                             incumbent);
-      }
-    }
-
-    // D: optional pairwise dominance filter among siblings.
-    if (params.dominance && staged.size() > 1) {
-      const auto state_of = [&](const StagedChild& c) -> const PartialSchedule& {
-        return static_cast<const Vertex*>(pool.get(c.ref))->state;
-      };
-      std::vector<char> dead(staged.size(), 0);
-      for (std::size_t i = 0; i < staged.size(); ++i) {
-        if (dead[i]) continue;
-        for (std::size_t j = 0; j < staged.size(); ++j) {
-          if (i == j || dead[j]) continue;
-          if (params.dominance(ctx, state_of(staged[i]),
-                               state_of(staged[j])))
-            dead[j] = 1;
-        }
-      }
-      std::size_t w = 0;
-      for (std::size_t i = 0; i < staged.size(); ++i) {
-        if (!dead[i]) {
-          staged[w++] = staged[i];
-        } else {
-          ++stats.pruned_children;
-          so.prune(FlightPruneRule::kDominance, child_count, staged[i].lb);
-          if (params.trace) {
-            params.trace->record(TraceEvent::kPruneChild, child_count,
-                                 staged[i].lb);
-          }
-          if (params.certify) {
-            params.certify->record_cut(ctx, state_of(staged[i]),
-                                       CutRule::kDominance, staged[i].lb);
-          }
-          pool.release(staged[i].ref);
-        }
-      }
-      staged.resize(w);
-    }
-
-    // Step 8 applied to AS: a better incumbent invalidates queued vertices.
-    if (improved && params.elim == ElimRule::kUDBAS) {
-      const Time fresh = prune_threshold(incumbent, params.br);
-      if (params.certify) {
-        certify_releases = true;
-        release_threshold = fresh;
-      }
-      const std::size_t removed = as.prune_worse(fresh);
-      certify_releases = false;
-      stats.pruned_active += removed;
-      if (removed > 0) {
-        so.prune(FlightPruneRule::kBound, -1,
-                 static_cast<std::int64_t>(removed));
-      }
-      if (params.trace && removed > 0) {
-        params.trace->record(TraceEvent::kPruneActive, -1,
-                             static_cast<Time>(removed));
-      }
-      // Staged children were bounded against the stale threshold.
-      std::erase_if(staged, [&](const StagedChild& c) {
-        if (c.lb < fresh) return false;
-        ++stats.pruned_children;
-        so.prune(FlightPruneRule::kBound, child_count, c.lb);
+      for (const StagedChild& c : staged) {
+        auto* v = static_cast<Vertex*>(pool.get(c.ref));
+        v->lb = c.lb;
+        v->seq = next_seq;
+        as.push(VertexEntry{c.lb, next_seq, c.ref});
+        ++next_seq;
+        ++stats.activated;
         if (params.trace) {
-          params.trace->record(TraceEvent::kPruneChild, child_count, c.lb);
+          params.trace->record(TraceEvent::kActivate, child_count, c.lb);
         }
-        if (params.certify) {
-          const auto* v = static_cast<const Vertex*>(pool.get(c.ref));
-          params.certify->record_cut(
-              ctx, v->state,
-              bound_cut_rule(ctx, v->state, params.lb, fresh), c.lb);
+      }
+
+      // RB.MAXSZAS: dispose of the worst active vertices when over budget.
+      // Drop an extra 25% of the budget so the O(|AS|) disposal scan is
+      // amortized instead of firing on every subsequent expansion.
+      if (as.size() > params.rb.max_active) {
+        const std::size_t excess = as.size() - params.rb.max_active +
+                                   params.rb.max_active / 4;
+        compromise_floor = std::min(compromise_floor, as.min_lb());
+        const std::size_t dropped =
+            as.dispose_worst(std::min(excess, as.size() - 1));
+        stats.disposed += dropped;
+        so.dispose(static_cast<std::int64_t>(dropped));
+        compromised = true;
+        if (params.trace) {
+          params.trace->record(TraceEvent::kDispose, -1,
+                               static_cast<Time>(dropped));
         }
-        pool.release(c.ref);
-        return true;
-      });
-    }
-
-    // Step 9: move surviving children into AS, most promising popped first
-    // for the stack/queue disciplines.
-    if (params.sort_children && params.select != SelectRule::kLLB) {
-      std::sort(staged.begin(), staged.end(),
-                [](const StagedChild& a, const StagedChild& b) {
-                  if (a.lb != b.lb) return a.lb > b.lb;
-                  return a.order > b.order;
-                });
-    }
-    for (const StagedChild& c : staged) {
-      auto* v = static_cast<Vertex*>(pool.get(c.ref));
-      v->lb = c.lb;
-      v->seq = next_seq;
-      as.push(VertexEntry{c.lb, next_seq, c.ref});
-      ++next_seq;
-      ++stats.activated;
-      if (params.trace) {
-        params.trace->record(TraceEvent::kActivate, child_count, c.lb);
       }
-    }
 
-    // RB.MAXSZAS: dispose of the worst active vertices when over budget.
-    // Drop an extra 25% of the budget so the O(|AS|) disposal scan is
-    // amortized instead of firing on every subsequent expansion.
-    if (as.size() > params.rb.max_active) {
-      const std::size_t excess = as.size() - params.rb.max_active +
-                                 params.rb.max_active / 4;
-      compromise_floor = std::min(compromise_floor, as.min_lb());
-      const std::size_t dropped =
-          as.dispose_worst(std::min(excess, as.size() - 1));
-      stats.disposed += dropped;
-      so.dispose(static_cast<std::int64_t>(dropped));
-      compromised = true;
-      if (params.trace) {
-        params.trace->record(TraceEvent::kDispose, -1,
-                             static_cast<Time>(dropped));
-      }
+      stats.peak_active = std::max(stats.peak_active, as.size());
+      stats.peak_memory_bytes =
+          std::max(stats.peak_memory_bytes, pool.memory_bytes());
     }
-
-    stats.peak_active = std::max(stats.peak_active, as.size());
-    stats.peak_memory_bytes =
-        std::max(stats.peak_memory_bytes, pool.memory_bytes());
+  } catch (const std::bad_alloc&) {
+    // Allocation failure mid-expansion (injected via Params::faults or
+    // real): unwind to the last consistent state. The incumbent, stats,
+    // and active set survive; the failed expansion's staged children are
+    // abandoned inside the pool, which frees them wholesale on return
+    // (no leak under ASan). The outcome is the memory-budget cliff:
+    // best-so-far, not proved, gap certificate voided.
+    result.reason = TerminationReason::kBudget;
+    compromised = true;
+    compromise_floor = kTimeNegInf;
   }
 
   result.best_cost = incumbent;
@@ -474,8 +592,8 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     floor = std::min(floor, compromise_floor);
     result.certified_lower_bound = std::min(floor, incumbent);
   }
-  if (tt) {
-    const TranspositionCounters tc = tt->counters();
+  if (tt || tt_shed) {
+    const TranspositionCounters tc = tt ? tt->counters() : tt_shed_counters;
     stats.tt_hits = tc.hits;
     stats.tt_misses = tc.misses;
     stats.tt_evictions = tc.evictions + tc.rejected;

@@ -46,6 +46,9 @@ struct SearchStats {
   /// probes that came back with at least one vertex.
   std::uint64_t steals_attempted = 0;
   std::uint64_t steals_succeeded = 0;
+  /// Degradation-ladder rungs applied (robust/degrade.hpp); zero unless
+  /// Params::degrade.enabled and memory pressure forced a step-down.
+  std::uint64_t degrade_steps = 0;
   std::size_t peak_active = 0;       ///< max |AS| observed
   std::size_t peak_memory_bytes = 0; ///< max vertex-pool footprint
   double seconds = 0.0;              ///< wall time of the search

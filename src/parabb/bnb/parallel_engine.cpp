@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -18,6 +19,7 @@
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/search_obs.hpp"
 #include "parabb/bnb/transposition.hpp"
+#include "parabb/robust/fault.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
 #include "parabb/support/inline_vector.hpp"
@@ -63,9 +65,120 @@ struct Shared {
   /// internally, so workers probe it without a global lock.
   std::unique_ptr<TranspositionTable> tt;
 
+  // --- graceful-degradation ladder (robust/degrade.hpp) -----------------
+  // `ladder_on` is fixed before the workers start; while false, no worker
+  // reads any of the atomics below (branch_rule()/table()/max_children()
+  // short-circuit to the plain params), so the ladder-off search is
+  // byte-identical to a pre-ladder build.
+  DegradeSchedule degrade_sched;
+  bool ladder_on = false;
+  std::atomic<int> degrade_level{0};
+  std::atomic<BranchRule> effective_branch{BranchRule::kBFn};
+  std::atomic<int> effective_children{std::numeric_limits<int>::max()};
+  /// Live table pointer: nulled by the kShedTT rung. The table object
+  /// itself stays alive (owned by `tt`) so a prober that loaded the
+  /// pointer before the shed finishes its probe safely.
+  std::atomic<TranspositionTable*> tt_live{nullptr};
+  std::atomic<bool> degraded_incomplete{false};
+  /// Per-worker resident bytes, published at the poll cadence; the ladder
+  /// compares their sum against rb.max_memory_bytes.
+  std::unique_ptr<std::atomic<std::size_t>[]> worker_bytes;
+
   Shared(const SchedContext& c, const Params& p) : ctx(c), params(p) {
     if (p.transposition.enabled) {
       tt = std::make_unique<TranspositionTable>(p.transposition);
+    }
+    effective_branch.store(p.branch, std::memory_order_relaxed);
+    tt_live.store(tt.get(), std::memory_order_relaxed);
+  }
+
+  void init_ladder(int threads) {
+    degrade_sched = DegradeSchedule::from(params.degrade);
+    ladder_on = degrade_sched.count > 0 &&
+                params.rb.max_memory_bytes !=
+                    std::numeric_limits<std::size_t>::max();
+    if (!ladder_on) return;
+    worker_bytes = std::make_unique<std::atomic<std::size_t>[]>(
+        static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      worker_bytes[static_cast<std::size_t>(i)].store(
+          0, std::memory_order_relaxed);
+    }
+  }
+
+  BranchRule branch_rule() const {
+    return ladder_on ? effective_branch.load(std::memory_order_relaxed)
+                     : params.branch;
+  }
+  TranspositionTable* table() const {
+    return ladder_on ? tt_live.load(std::memory_order_relaxed) : tt.get();
+  }
+  int max_children() const {
+    return ladder_on ? effective_children.load(std::memory_order_relaxed)
+                     : std::numeric_limits<int>::max();
+  }
+
+  /// Ladder poll (flush cadence): publish this worker's resident bytes,
+  /// escalate while the cross-worker total sits above the next rung, and
+  /// fall off the budget cliff once the ladder is spent. Rung application
+  /// is CAS-claimed so each fires exactly once, by one worker, which also
+  /// accounts it (stats/flight/certificate).
+  void maybe_degrade(std::size_t worker, std::size_t used_bytes,
+                     SearchStats& stats, SearchObs& so) {
+    if (!ladder_on) return;
+    worker_bytes[worker].store(used_bytes, std::memory_order_relaxed);
+    std::size_t total = 0;
+    for (int i = 0; i < total_threads; ++i) {
+      total += worker_bytes[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+    }
+    const int target =
+        degrade_sched.target_level(total, params.rb.max_memory_bytes);
+    int cur = degrade_level.load(std::memory_order_relaxed);
+    while (cur < target) {
+      if (!degrade_level.compare_exchange_strong(
+              cur, cur + 1, std::memory_order_relaxed)) {
+        continue;  // another worker claimed this rung; cur was reloaded
+      }
+      const DegradeAction action =
+          degrade_sched.rungs[static_cast<std::size_t>(cur)].action;
+      switch (action) {
+        case DegradeAction::kShedTT:
+          tt_live.store(nullptr, std::memory_order_relaxed);
+          if (tt) tt->clear();  // duplicate pruning only: completeness kept
+          break;
+        case DegradeAction::kTightenDB:
+          effective_children.store(
+              std::max(1, ctx.proc_count() *
+                              params.degrade.tightened_children_per_proc),
+              std::memory_order_relaxed);
+          degraded_incomplete.store(true, std::memory_order_relaxed);
+          break;
+        case DegradeAction::kBF1: {
+          BranchRule expected = BranchRule::kBFn;
+          effective_branch.compare_exchange_strong(
+              expected, BranchRule::kBF1, std::memory_order_relaxed);
+          degraded_incomplete.store(true, std::memory_order_relaxed);
+          break;
+        }
+        case DegradeAction::kDF:
+          effective_branch.store(BranchRule::kDF, std::memory_order_relaxed);
+          degraded_incomplete.store(true, std::memory_order_relaxed);
+          break;
+      }
+      ++cur;
+      ++stats.degrade_steps;
+      so.degrade(cur, static_cast<std::int64_t>(action));
+      if (params.certify) {
+        params.certify->record_degrade(
+            to_string(action), generated.load(std::memory_order_relaxed),
+            cur);
+      }
+    }
+    // Ladder spent and still over budget: the cliff is all that is left.
+    if (target == degrade_sched.count &&
+        total >= params.rb.max_memory_bytes) {
+      request_stop(TerminationReason::kBudget);
     }
   }
 
@@ -95,6 +208,12 @@ struct Shared {
   bool should_stop() {
     if (stop.load(std::memory_order_relaxed)) return true;
     if (params.cancel && params.cancel->cancelled()) {
+      request_stop(TerminationReason::kCancelled);
+      return true;
+    }
+    if (params.faults &&
+        params.faults->cancel_requested(
+            generated.load(std::memory_order_relaxed))) {
       request_stop(TerminationReason::kCancelled);
       return true;
     }
@@ -167,8 +286,14 @@ void expand_children(Shared& sh, IncrementalLB& inc,
   PartialSchedule cur = parent;
   inc.attach(cur);
   std::uint64_t generated_here = 0;
-  for (const TaskId t : branch_tasks(sh.ctx, sh.params.branch, cur.ready())) {
+  TranspositionTable* const tt = sh.table();
+  const int child_cap = sh.max_children();
+  int children = 0;
+  for (const TaskId t : branch_tasks(sh.ctx, sh.branch_rule(), cur.ready())) {
+    if (children >= child_cap) break;  // kTightenDB rung truncated the set
     for (ProcId p = 0; p < sh.ctx.proc_count(); ++p) {
+      if (children >= child_cap) break;
+      ++children;
       ++stats.generated;
       ++generated_here;
       inc.place(cur, t, p);
@@ -194,7 +319,7 @@ void expand_children(Shared& sh, IncrementalLB& inc,
               sh.ctx, cur,
               bound_cut_rule(sh.ctx, cur, sh.params.lb, threshold), lb);
         }
-      } else if (sh.tt && sh.tt->seen_or_insert(cur, lb)) {
+      } else if (tt && tt->seen_or_insert(cur, lb)) {
         ++stats.pruned_children;  // duplicate: another worker owns this state
         so.prune(FlightPruneRule::kTransposition, cur.count(), lb);
         if (sh.params.certify) {
@@ -202,6 +327,10 @@ void expand_children(Shared& sh, IncrementalLB& inc,
                                         CutRule::kTransposition, lb);
         }
       } else {
+        if (sh.params.faults) {
+          sh.params.faults->on_alloc(
+              sh.generated.load(std::memory_order_relaxed) + generated_here);
+        }
         emit(cur, lb);
         ++stats.activated;
       }
@@ -244,7 +373,8 @@ void expand(Shared& sh, IncrementalLB& inc, const WorkItem& item,
 /// declare termination while work is in flight, and every exit path leaves
 /// the worker counted (the caller asserts idle == total_threads after the
 /// join).
-void worker_loop(Shared& sh, SearchStats& stats, SearchObs& so) {
+void worker_loop(Shared& sh, const std::size_t self, SearchStats& stats,
+                 SearchObs& so) {
   std::vector<WorkItem> local;
   IncrementalLB inc(sh.ctx);  // private scratch: no shared mutable state
   std::uint64_t iter = 0;
@@ -298,15 +428,30 @@ void worker_loop(Shared& sh, SearchStats& stats, SearchObs& so) {
         }
         continue;
       }
-      expand(sh, inc, item, local, stats, so);
+      try {
+        expand(sh, inc, item, local, stats, so);
+      } catch (const std::bad_alloc&) {
+        // Injected or genuine allocation failure mid-expansion: surface
+        // it as the budget cliff. The dive loop's stop branch disposes
+        // whatever is left on the private stack on the next iteration.
+        sh.request_stop(TerminationReason::kBudget);
+        continue;
+      }
       stats.peak_active = std::max(stats.peak_active, local.size());
       stats.peak_memory_bytes = std::max(
           stats.peak_memory_bytes, local.capacity() * sizeof(WorkItem));
       // Amortized metrics flush, mirroring the sequential engine's
       // 256-expansion polling cadence.
       if ((++iter & 0xFFu) == 0) {
-        so.budget_checkpoint(static_cast<std::int64_t>(
-            sh.generated.load(std::memory_order_relaxed)));
+        const std::uint64_t gen =
+            sh.generated.load(std::memory_order_relaxed);
+        so.budget_checkpoint(static_cast<std::int64_t>(gen));
+        if (sh.params.progress) {
+          sh.params.progress->store(gen, std::memory_order_relaxed);
+        }
+        if (sh.params.faults) sh.params.faults->at_poll(gen);
+        sh.maybe_degrade(self, local.capacity() * sizeof(WorkItem), stats,
+                         so);
         so.flush(stats);
       }
 
@@ -477,14 +622,29 @@ void ws_worker_loop(Shared& sh, WsControl& ctl, const std::size_t self,
         continue;
       }
       staged.clear();
-      expand_children(sh, inc, cur->state, cur->lb, stats, so,
-                      [&](const PartialSchedule& s, Time lb) {
-                        WsNode* const n = slab.alloc();
-                        n->state = s;
-                        n->lb = lb;
-                        staged.push_back(n);
-                      });
+      bool alloc_failed = false;
+      try {
+        expand_children(sh, inc, cur->state, cur->lb, stats, so,
+                        [&](const PartialSchedule& s, Time lb) {
+                          WsNode* const n = slab.alloc();
+                          n->state = s;
+                          n->lb = lb;
+                          staged.push_back(n);
+                        });
+      } catch (const std::bad_alloc&) {
+        // Injected or genuine allocation failure mid-expansion: children
+        // staged before the throw go back to the slab, and the budget
+        // cliff stops the search (the stop branch drains the deque).
+        sh.request_stop(TerminationReason::kBudget);
+        for (WsNode* const n : staged) slab.release(n);
+        staged.clear();
+        alloc_failed = true;
+      }
       slab.release(cur);
+      if (alloc_failed) {
+        cur = pop_own();
+        continue;
+      }
       if (sh.params.sort_children) {
         // Worst bound pushed first: the owner's next pop gets the best
         // child, thieves at the top get the worst (and shallowest).
@@ -514,12 +674,19 @@ void ws_worker_loop(Shared& sh, WsControl& ctl, const std::size_t self,
       if ((++iter & 0xFFu) == 0) {
         const std::size_t depth = mine.size_hint() + 1;  // + the in-hand one
         stats.peak_active = std::max(stats.peak_active, depth);
-        so.budget_checkpoint(static_cast<std::int64_t>(
-            sh.generated.load(std::memory_order_relaxed)));
+        const std::uint64_t gen =
+            sh.generated.load(std::memory_order_relaxed);
+        so.budget_checkpoint(static_cast<std::int64_t>(gen));
+        if (sh.params.progress) {
+          sh.params.progress->store(gen, std::memory_order_relaxed);
+        }
+        if (sh.params.faults) sh.params.faults->at_poll(gen);
         so.deque_depth(static_cast<std::int64_t>(depth - 1));
         stats.peak_memory_bytes =
             std::max(stats.peak_memory_bytes,
                      slab.memory_bytes() + mine.memory_bytes());
+        sh.maybe_degrade(self, slab.memory_bytes() + mine.memory_bytes(),
+                         stats, so);
         so.flush(stats);
       }
       if (cur == nullptr) cur = pop_own();
@@ -630,6 +797,7 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
 
   Shared sh(ctx, pp.base);
   sh.total_threads = threads;
+  sh.init_ladder(threads);
 
   if (pp.base.certify) {
     pp.base.certify->begin(ctx, static_cast<int>(pp.base.lb),
@@ -685,7 +853,12 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
         continue;
       }
       buf.clear();
-      expand(sh, seed_inc, item, buf, seed_stats, seed_so);
+      try {
+        expand(sh, seed_inc, item, buf, seed_stats, seed_so);
+      } catch (const std::bad_alloc&) {
+        sh.request_stop(TerminationReason::kBudget);
+        break;
+      }
       for (WorkItem& w : buf) seeds.push_back(std::move(w));
       seed_stats.peak_memory_bytes =
           std::max(seed_stats.peak_memory_bytes,
@@ -744,7 +917,12 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       // generated budget are polled by the workers (Shared::should_stop).
       if (std::isfinite(limit)) {
         while (!ctl.done.load() && !sh.stop.load()) {
-          if (watch.seconds() >= limit) {
+          double elapsed = watch.seconds();
+          if (pp.base.faults) {
+            elapsed += pp.base.faults->clock_skew_s(
+                sh.generated.load(std::memory_order_relaxed));
+          }
+          if (elapsed >= limit) {
             sh.request_stop(TerminationReason::kTimeLimit);
             break;
           }
@@ -768,7 +946,8 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
       sh.queue_hint.store(sh.queue.size());
       for (int i = 0; i < threads; ++i) {
         pool.emplace_back([&sh, &per_thread, &per_obs, i] {
-          worker_loop(sh, per_thread[static_cast<std::size_t>(i)],
+          worker_loop(sh, static_cast<std::size_t>(i),
+                      per_thread[static_cast<std::size_t>(i)],
                       per_obs[static_cast<std::size_t>(i)]);
         });
       }
@@ -778,7 +957,12 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
             const std::lock_guard lock(sh.queue_mutex);
             if (sh.done) break;
           }
-          if (watch.seconds() >= limit) {
+          double elapsed = watch.seconds();
+          if (pp.base.faults) {
+            elapsed += pp.base.faults->clock_skew_s(
+                sh.generated.load(std::memory_order_relaxed));
+          }
+          if (elapsed >= limit) {
             sh.request_stop(TerminationReason::kTimeLimit);
             break;
           }
@@ -816,7 +1000,8 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   }
   result.reason = reason;
   result.proved = result.found_solution && !is_interrupted(reason) &&
-                  pp.base.branch == BranchRule::kBFn;
+                  pp.base.branch == BranchRule::kBFn &&
+                  !sh.degraded_incomplete.load(std::memory_order_relaxed);
   if (pp.base.certify) {
     pp.base.certify->finish(result.found_solution, result.best,
                             result.best_cost, result.proved,

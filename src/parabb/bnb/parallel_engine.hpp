@@ -49,9 +49,10 @@ std::string to_string(ParallelScheduler s);
 struct ParallelParams {
   /// Base 9-tuple. `select` is ignored (always LIFO dives); `rb.max_active`
   /// and `rb.max_children` are ignored (no disposal in the parallel
-  /// engine); `rb.max_memory_bytes` is ignored (worker memory is bounded by
-  /// dive depth, not an active set); `dominance` is ignored. BR, LB, branch
-  /// rule, UB init, the time limit, `rb.max_generated` (summed across
+  /// engine); `dominance` is ignored. BR, LB, branch rule, UB init, the
+  /// time limit, `rb.max_memory_bytes` (summed worker slab bytes — the
+  /// degradation-ladder signal and, past the last rung, the stop cliff;
+  /// docs/robustness.md), `rb.max_generated` (summed across
   /// workers) and the `cancel` token apply. `transposition` is honored: one
   /// table is shared by every worker (lock-striped), so a state expanded by
   /// any thread is pruned as a duplicate everywhere else.

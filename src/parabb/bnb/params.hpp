@@ -7,7 +7,10 @@
 #include <limits>
 #include <string>
 
+#include <atomic>
+
 #include "parabb/bnb/transposition.hpp"
+#include "parabb/robust/degrade.hpp"
 #include "parabb/sched/context.hpp"
 #include "parabb/sched/partial_schedule.hpp"
 #include "parabb/support/types.hpp"
@@ -17,6 +20,7 @@ namespace parabb {
 class SearchTrace;         // bnb/trace.hpp
 class CancelToken;         // bnb/cancel.hpp
 class CertificateBuilder;  // verify/certificate.hpp
+class FaultInjector;       // robust/fault.hpp
 struct Observation;        // obs/observe.hpp
 
 /// S — vertex selection rule (§3.2).
@@ -67,9 +71,11 @@ struct ResourceBounds {
   /// Cap on generated (cost-evaluated) vertices; the classic proxy for
   /// total search effort, deterministic across runs unlike wall clock.
   std::uint64_t max_generated = std::numeric_limits<std::uint64_t>::max();
-  /// Cap on the active-set vertex-pool footprint, in bytes. Enforced by
-  /// the sequential engine; the parallel engine's memory is bounded by
-  /// dive depth instead of an active set, so it ignores this field.
+  /// Cap on live vertex memory, in bytes: the sequential engine's pool
+  /// footprint, the parallel engine's summed per-worker slab bytes. Both
+  /// engines stop at the cap (kBudget); with `degrade.enabled` it is also
+  /// the signal the graceful-degradation ladder steps against
+  /// (docs/robustness.md).
   std::size_t max_memory_bytes = std::numeric_limits<std::size_t>::max();
 };
 
@@ -154,6 +160,28 @@ struct Params {
   /// disables the bound-aware LB short-circuit, so results — and the
   /// search trajectory itself — are byte-identical with it on or off.
   const Observation* observe = nullptr;
+
+  /// Graceful-degradation ladder (robust/degrade.hpp): as the vertex-pool
+  /// footprint crosses configurable high-water fractions of
+  /// rb.max_memory_bytes, the engines shed the transposition table,
+  /// tighten the effective MAXSZDB, and step the branching rule down
+  /// BFn -> BF1 -> DF before resorting to disposal or the budget cliff.
+  /// Disabled by default; with enabled == false no ladder state is read
+  /// anywhere and the search is byte-identical to pre-ladder builds.
+  DegradeConfig degrade;
+
+  /// Optional deterministic fault injector (robust/fault.hpp); not owned,
+  /// may be null. Both engines call its hooks at the allocation and poll
+  /// sites; the off path costs one null check per site. Injected faults
+  /// surface as ordinary termination reasons (kBudget / kCancelled /
+  /// kTimeLimit) — never a crash or an undefined result.
+  FaultInjector* faults = nullptr;
+
+  /// Optional progress heartbeat; not owned, may be null. Both engines
+  /// store stats.generated into it at their poll cadence so an external
+  /// watchdog (robust/watchdog.hpp, wired up by the solver service) can
+  /// detect generated-count stagnation and cancel the hung job.
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 std::string to_string(SelectRule s);

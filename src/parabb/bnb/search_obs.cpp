@@ -25,6 +25,8 @@ const std::array<SearchStatsField, kSearchStatsFieldCount>
          "parabb_steals_attempted_total"},
         {"steals_succeeded", &SearchStats::steals_succeeded,
          "parabb_steals_succeeded_total"},
+        {"degrade_steps", &SearchStats::degrade_steps,
+         "parabb_degrade_steps_total"},
     }};
 
 void merge_search_stats(SearchStats& into, const SearchStats& from) {

@@ -42,7 +42,7 @@ struct SearchStatsField {
   const char* metric = nullptr;
 };
 
-inline constexpr std::size_t kSearchStatsFieldCount = 14;
+inline constexpr std::size_t kSearchStatsFieldCount = 15;
 extern const std::array<SearchStatsField, kSearchStatsFieldCount>
     kSearchStatsFields;
 
@@ -108,6 +108,13 @@ class SearchObs {
     if (flight_)
       flight_->record(FlightEventKind::kSteal, FlightPruneRule::kNone,
                       clamp_level(victim), count);
+  }
+  /// Degradation-ladder rung applied: `level` is the rung index just
+  /// reached (1-based), `action` the DegradeAction as an integer.
+  void degrade(int level, std::int64_t action) noexcept {
+    if (flight_)
+      flight_->record(FlightEventKind::kDegrade, FlightPruneRule::kNone,
+                      clamp_level(level), action);
   }
   /// Publishes the current work-stealing deque depth (flush cadence).
   void deque_depth(std::int64_t depth) noexcept;

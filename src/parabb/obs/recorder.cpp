@@ -15,6 +15,7 @@ std::string to_string(FlightEventKind k) {
     case FlightEventKind::kBudget: return "budget";
     case FlightEventKind::kDispose: return "dispose";
     case FlightEventKind::kSteal: return "steal";
+    case FlightEventKind::kDegrade: return "degrade";
   }
   return "?";
 }

@@ -29,6 +29,8 @@ enum class FlightEventKind : std::uint8_t {
   kBudget,     ///< periodic checkpoint (value = generated vertices so far)
   kDispose,    ///< entries dropped by a storage bound (value = count)
   kSteal,      ///< work-stealing batch taken (level = victim, value = count)
+  kDegrade,    ///< degradation-ladder rung applied (level = rung, value =
+               ///< DegradeAction as an integer; robust/degrade.hpp)
 };
 
 /// Why a kPrune event fired (mirrors the engines' cut sites).

@@ -1,0 +1,66 @@
+#include "parabb/robust/degrade.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace parabb {
+
+std::string to_string(DegradeAction a) {
+  switch (a) {
+    case DegradeAction::kShedTT: return "shed_tt";
+    case DegradeAction::kTightenDB: return "tighten_db";
+    case DegradeAction::kBF1: return "bf1";
+    case DegradeAction::kDF: return "df";
+  }
+  return "?";
+}
+
+bool parse_degrade_action(std::string_view text, DegradeAction& out) {
+  if (text == "shed_tt") { out = DegradeAction::kShedTT; return true; }
+  if (text == "tighten_db") { out = DegradeAction::kTightenDB; return true; }
+  if (text == "bf1") { out = DegradeAction::kBF1; return true; }
+  if (text == "df") { out = DegradeAction::kDF; return true; }
+  return false;
+}
+
+std::string DegradeConfig::describe() const {
+  if (!enabled) return "degrade=off";
+  std::ostringstream out;
+  out << "degrade=on shed_tt=" << shed_tt_frac
+      << " tighten_db=" << tighten_db_frac << " bf1=" << bf1_frac
+      << " df=" << df_frac << " db_per_proc=" << tightened_children_per_proc;
+  return out.str();
+}
+
+DegradeSchedule DegradeSchedule::from(const DegradeConfig& cfg) {
+  DegradeSchedule sched;
+  if (!cfg.enabled) return sched;
+  const std::pair<double, DegradeAction> raw[] = {
+      {cfg.shed_tt_frac, DegradeAction::kShedTT},
+      {cfg.tighten_db_frac, DegradeAction::kTightenDB},
+      {cfg.bf1_frac, DegradeAction::kBF1},
+      {cfg.df_frac, DegradeAction::kDF},
+  };
+  for (const auto& [frac, action] : raw) {
+    if (frac <= 0.0 || frac > 1.0) continue;  // rung disabled
+    sched.rungs[static_cast<std::size_t>(sched.count++)] = {frac, action};
+  }
+  std::stable_sort(sched.rungs.begin(),
+                   sched.rungs.begin() + sched.count,
+                   [](const Rung& a, const Rung& b) { return a.frac < b.frac; });
+  return sched;
+}
+
+int DegradeSchedule::target_level(std::size_t used_bytes,
+                                  std::size_t budget_bytes) const {
+  if (budget_bytes == 0) return 0;
+  const double frac =
+      static_cast<double>(used_bytes) / static_cast<double>(budget_bytes);
+  int level = 0;
+  while (level < count && frac >= rungs[static_cast<std::size_t>(level)].frac) {
+    ++level;
+  }
+  return level;
+}
+
+}  // namespace parabb

@@ -1,0 +1,74 @@
+// Graceful-degradation ladder for search under memory pressure.
+//
+// The paper's RB resource bounds stop the search with a cliff: once the
+// active-set memory budget (MAXSZAS / rb.max_memory_bytes) is exhausted
+// the engines dispose work, mark the result compromised, and stop.
+// Following Orr & Sinnen's memory-limited B&B results (PAPERS.md),
+// degrading the *strategy* under pressure preserves far more solution
+// quality than truncating the search: as memory usage crosses
+// configurable high-water fractions of the budget, the engines step down
+//
+//   shed the transposition table  ->  tighten MAXSZDB  ->  BFn -> BF1  ->  DF
+//
+// before resorting to disposal. Each rung fires once per run
+// (monotone), is counted in SearchStats::degrade_steps / the
+// parabb_degrade_steps_total metric, emitted as a kDegrade flight event,
+// and recorded in the optimality certificate so parabb_verify can audit
+// a degraded run. With `enabled == false` (the default) no ladder state
+// is consulted anywhere and the search is byte-identical to a build
+// without this header.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parabb {
+
+enum class DegradeAction : std::uint8_t {
+  kShedTT,     // clear + disable the transposition table
+  kTightenDB,  // tighten the effective MAXSZDB child cap
+  kBF1,        // BFn -> BF1 branching (one task, all processors)
+  kDF,         // BF1 -> DF branching (depth-first dive)
+};
+
+std::string to_string(DegradeAction a);
+bool parse_degrade_action(std::string_view text, DegradeAction& out);
+
+/// Ladder configuration: each fraction is a high-water mark of the memory
+/// budget at which the corresponding action fires. Fractions outside
+/// (0, 1] disable that rung.
+struct DegradeConfig {
+  bool enabled = false;
+  double shed_tt_frac = 0.55;
+  double tighten_db_frac = 0.70;
+  double bf1_frac = 0.80;
+  double df_frac = 0.90;
+  /// Effective MAXSZDB after kTightenDB = processors * this.
+  int tightened_children_per_proc = 2;
+
+  std::string describe() const;
+};
+
+/// The config compiled into an ordered rung list. Pure value type: both
+/// engines share it — the sequential engine tracks its level in a local
+/// int, the parallel engine in a shared atomic.
+struct DegradeSchedule {
+  struct Rung {
+    double frac = 0.0;
+    DegradeAction action = DegradeAction::kShedTT;
+  };
+
+  std::array<Rung, 4> rungs{};
+  int count = 0;
+
+  static DegradeSchedule from(const DegradeConfig& cfg);
+
+  /// How many rungs should have fired at this usage level (clamped to
+  /// count). Monotone in `used_bytes`; 0 when budget is 0/unbounded.
+  int target_level(std::size_t used_bytes, std::size_t budget_bytes) const;
+};
+
+}  // namespace parabb

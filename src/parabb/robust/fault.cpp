@@ -1,0 +1,147 @@
+#include "parabb/robust/fault.hpp"
+
+#include <chrono>
+#include <new>
+#include <sstream>
+#include <thread>
+
+#include "parabb/support/rng.hpp"
+
+namespace parabb {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kAllocFail: return "alloc_fail";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCancelStorm: return "cancel_storm";
+    case FaultKind::kClockSkew: return "clock_skew";
+    case FaultKind::kQueueFull: return "queue_full";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(derive_seed(seed, /*stream=*/0x0fa17u));
+  const int count = static_cast<int>(rng.uniform_int(1, 3));
+  plan.faults.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FaultSpec spec;
+    // Engine-side kinds only: queue-full is a service-admission fault and
+    // is exercised by the service tests with hand-written plans.
+    switch (rng.uniform_int(0, 3)) {
+      case 0: spec.kind = FaultKind::kAllocFail; break;
+      case 1: spec.kind = FaultKind::kStall; break;
+      case 2: spec.kind = FaultKind::kCancelStorm; break;
+      default: spec.kind = FaultKind::kClockSkew; break;
+    }
+    spec.at_generated =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 2000));
+    switch (spec.kind) {
+      case FaultKind::kStall:
+        spec.param = rng.uniform_int(1, 10);  // ms
+        break;
+      case FaultKind::kClockSkew:
+        // Mix of forward skew (forces the time-limit path) and backward
+        // skew (time limit never fires; the run completes some other way).
+        spec.param = rng.uniform_int(-5'000, 3'600'000);  // ms
+        break;
+      default:
+        spec.param = 0;
+        break;
+    }
+    plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  for (const FaultSpec& f : faults) {
+    out << ' ' << to_string(f.kind) << '@' << f.at_generated;
+    if (f.kind == FaultKind::kStall || f.kind == FaultKind::kClockSkew) {
+      out << '(' << f.param << "ms)";
+    } else if (f.kind == FaultKind::kQueueFull) {
+      out << "(x" << f.param << ')';
+    }
+  }
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  armed_.reserve(plan_.faults.size());
+  for (const FaultSpec& spec : plan_.faults) {
+    auto a = std::make_unique<Armed>();
+    a->spec = spec;
+    if (spec.kind == FaultKind::kQueueFull) {
+      a->remaining.store(spec.param > 0 ? spec.param : 1,
+                         std::memory_order_relaxed);
+    }
+    armed_.push_back(std::move(a));
+  }
+}
+
+bool FaultInjector::claim(Armed& a) {
+  if (a.remaining.load(std::memory_order_relaxed) <= 0) return false;
+  if (a.remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) return false;
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::latch(Armed& a) const {
+  if (!a.latched.exchange(true, std::memory_order_relaxed)) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::on_alloc(std::uint64_t generated) {
+  for (auto& a : armed_) {
+    if (a->spec.kind != FaultKind::kAllocFail) continue;
+    if (generated < a->spec.at_generated) continue;
+    if (claim(*a)) throw std::bad_alloc();
+  }
+}
+
+void FaultInjector::at_poll(std::uint64_t generated) {
+  for (auto& a : armed_) {
+    if (a->spec.kind != FaultKind::kStall) continue;
+    if (generated < a->spec.at_generated) continue;
+    if (claim(*a)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(a->spec.param));
+    }
+  }
+}
+
+bool FaultInjector::cancel_requested(std::uint64_t generated) const {
+  for (const auto& a : armed_) {
+    if (a->spec.kind != FaultKind::kCancelStorm) continue;
+    if (a->latched.load(std::memory_order_relaxed)) return true;
+    if (generated < a->spec.at_generated) continue;
+    latch(*a);
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::clock_skew_s(std::uint64_t generated) const {
+  double skew_ms = 0.0;
+  for (const auto& a : armed_) {
+    if (a->spec.kind != FaultKind::kClockSkew) continue;
+    if (generated < a->spec.at_generated) continue;
+    latch(*a);
+    skew_ms += static_cast<double>(a->spec.param);
+  }
+  return skew_ms / 1000.0;
+}
+
+bool FaultInjector::submit_rejected() {
+  for (auto& a : armed_) {
+    if (a->spec.kind != FaultKind::kQueueFull) continue;
+    if (claim(*a)) return true;
+  }
+  return false;
+}
+
+}  // namespace parabb

@@ -1,0 +1,107 @@
+// Deterministic fault injection for the B&B engines and the solver service.
+//
+// A FaultPlan is a small, seeded list of faults to fire at well-defined
+// points of a run: allocation failure once the generated-node counter
+// reaches N, a worker stall (park for X ms) at the next poll point, a
+// cancel storm (behave as if an external cancel arrived), clock skew on
+// the time-limit path, and queue-full rejection on service submission.
+// FaultPlan::random(seed) expands one 64-bit seed into a reproducible
+// plan so the fault matrix in tests/test_robust.cpp and
+// tools/fault_sweep.sh can sweep hundreds of plans byte-for-byte
+// identically across runs and sanitizer configs.
+//
+// The engines see faults through `Params::faults` (a FaultInjector
+// pointer, default nullptr). Every hook below is safe to call from any
+// worker thread; "once" faults use an atomic claim so exactly one thread
+// fires them. The off path costs a single null check at each hook site.
+//
+// Contract (docs/robustness.md): every injected fault must resolve to a
+// defined JobOutcome — never a crash, deadlock, or silent wrong answer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parabb {
+
+enum class FaultKind : std::uint8_t {
+  kAllocFail,    // throw std::bad_alloc at the next vertex allocation
+  kStall,        // park the polling thread for `param` ms, once
+  kCancelStorm,  // behave as if an external cancel arrived (sticky)
+  kClockSkew,    // add `param` ms to the clock seen by the time-limit check
+  kQueueFull,    // service admission: reject the next `param` submissions
+};
+
+std::string to_string(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStall;
+  // Fire once the generated-node counter reaches this value (engine-side
+  // faults). Service-side kQueueFull ignores it.
+  std::uint64_t at_generated = 0;
+  // kStall / kClockSkew: milliseconds; kQueueFull: rejection count.
+  std::int64_t param = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  /// Expand one seed into a reproducible 1..3-fault plan covering the
+  /// engine-side taxonomy (the seeded fault matrix).
+  static FaultPlan random(std::uint64_t seed);
+
+  /// Human-readable one-liner, e.g. "seed=7 alloc_fail@120 stall@64(5ms)".
+  std::string describe() const;
+};
+
+/// Thread-safe runtime for one FaultPlan. Stateless hooks are pure
+/// threshold checks; stateful ones (alloc failure, stall, queue-full)
+/// claim their budget atomically so each fires a bounded number of times.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // --- engine hooks ----------------------------------------------------
+  /// Call before allocating a search vertex. Throws std::bad_alloc when an
+  /// armed kAllocFail spec triggers (once per spec).
+  void on_alloc(std::uint64_t generated);
+  /// Call at the amortized poll point. Parks the calling thread when an
+  /// armed kStall spec triggers (once per spec).
+  void at_poll(std::uint64_t generated);
+  /// kCancelStorm: true once any storm spec's threshold has been crossed.
+  bool cancel_requested(std::uint64_t generated) const;
+  /// kClockSkew: seconds to add to the elapsed time seen by the
+  /// time-limit check (sum over triggered skew specs; may be negative).
+  double clock_skew_s(std::uint64_t generated) const;
+
+  // --- service hooks ---------------------------------------------------
+  /// kQueueFull: true while the rejection budget remains; each call that
+  /// returns true consumes one rejection.
+  bool submit_rejected();
+
+  /// Total number of faults that have fired so far.
+  std::uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::atomic<std::int64_t> remaining{1};
+    std::atomic<bool> latched{false};  // fired-counter latch for sticky kinds
+  };
+
+  bool claim(Armed& a);      // one-shot budget claim; bumps fired_
+  void latch(Armed& a) const;  // sticky first-observation latch; bumps fired_
+
+  FaultPlan plan_;
+  // unique_ptr keeps atomic members at stable addresses.
+  std::vector<std::unique_ptr<Armed>> armed_;
+  mutable std::atomic<std::uint64_t> fired_{0};
+};
+
+}  // namespace parabb

@@ -1,0 +1,67 @@
+#include "parabb/robust/watchdog.hpp"
+
+#include <chrono>
+
+#include "parabb/support/assert.hpp"
+
+namespace parabb {
+
+Watchdog::Watchdog(Config cfg) : cfg_(cfg) {
+  PARABB_REQUIRE(cfg_.interval_ms > 0.0, "watchdog interval must be > 0");
+  PARABB_REQUIRE(cfg_.stall_ms > 0.0, "watchdog stall threshold must be > 0");
+  thread_ = std::thread([this] { run(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Watchdog::watch(const std::atomic<std::uint64_t>* progress,
+                              StallFn on_stall) {
+  PARABB_REQUIRE(progress != nullptr, "watchdog progress source is null");
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  Entry entry;
+  entry.progress = progress;
+  entry.on_stall = std::move(on_stall);
+  entry.last = progress->load(std::memory_order_relaxed);
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+void Watchdog::unwatch(std::uint64_t id) {
+  const std::lock_guard lock(mutex_);
+  entries_.erase(id);
+}
+
+void Watchdog::run() {
+  std::unique_lock lock(mutex_);
+  const auto interval =
+      std::chrono::duration<double, std::milli>(cfg_.interval_ms);
+  while (!stop_) {
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) break;
+    for (auto& [id, entry] : entries_) {
+      const std::uint64_t cur =
+          entry.progress->load(std::memory_order_relaxed);
+      if (cur != entry.last) {
+        entry.last = cur;
+        entry.since_change.restart();
+        continue;
+      }
+      if (!entry.fired &&
+          entry.since_change.seconds() * 1000.0 >= cfg_.stall_ms) {
+        entry.fired = true;
+        fired_.fetch_add(1, std::memory_order_relaxed);
+        if (entry.on_stall) entry.on_stall();
+      }
+    }
+  }
+}
+
+}  // namespace parabb

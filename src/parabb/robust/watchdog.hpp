@@ -1,0 +1,72 @@
+// Stagnation watchdog: detects registered jobs whose progress counter has
+// stopped advancing and escalates by invoking a caller-supplied stall
+// action (the solver service cancels the job's CancelToken, turning a hung
+// search into a defined kCancelled JobOutcome — docs/robustness.md).
+//
+// The watchdog owns one background thread that wakes every `interval_ms`
+// and scans the registered entries. A progress source is any
+// atomic<uint64_t> the watched code stores into (the engines publish
+// stats.generated at their poll cadence via Params::progress). The stall
+// action fires at most once per registration.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "parabb/support/timer.hpp"
+
+namespace parabb {
+
+class Watchdog {
+ public:
+  struct Config {
+    double interval_ms = 20.0;  // scan cadence
+    double stall_ms = 200.0;    // no progress for this long => stalled
+  };
+
+  using StallFn = std::function<void()>;
+
+  explicit Watchdog(Config cfg);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register a progress source. `progress` must outlive the registration;
+  /// `on_stall` must be safe to call from the watchdog thread.
+  std::uint64_t watch(const std::atomic<std::uint64_t>* progress,
+                      StallFn on_stall);
+  void unwatch(std::uint64_t id);
+
+  /// Number of stall actions fired since construction.
+  std::uint64_t stalls_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    const std::atomic<std::uint64_t>* progress = nullptr;
+    StallFn on_stall;
+    std::uint64_t last = 0;
+    Stopwatch since_change;
+    bool fired = false;
+  };
+
+  void run();
+
+  Config cfg_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> fired_{0};
+  std::thread thread_;
+};
+
+}  // namespace parabb

@@ -33,6 +33,16 @@ std::string to_string(JobOutcome o) {
   return "unknown";
 }
 
+int exit_code_for(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::kOptimal: return 0;
+    case JobOutcome::kFeasibleTimeout: return 3;
+    case JobOutcome::kCancelled: return 4;
+    case JobOutcome::kInfeasible: return 5;
+  }
+  return 2;
+}
+
 JobOutcome outcome_of(TerminationReason reason, bool found_solution) {
   if (reason == TerminationReason::kCancelled) return JobOutcome::kCancelled;
   if (!found_solution) return JobOutcome::kInfeasible;

@@ -54,6 +54,12 @@ std::string to_string(JobOutcome o);
 /// Folds an engine termination reason + solution flag into the taxonomy.
 JobOutcome outcome_of(TerminationReason reason, bool found_solution);
 
+/// Stable process exit code for CLI front ends (docs/robustness.md):
+/// optimal -> 0, feasible_timeout -> 3, cancelled -> 4, infeasible -> 5.
+/// (1/2 are reserved for usage/runtime errors, 6 for a broken output
+/// stream in parabb_serve.)
+int exit_code_for(JobOutcome o);
+
 /// One solve request. The graph/machine are owned by value: a request is
 /// self-contained and outlives the client buffer it was parsed from.
 struct JobRequest {

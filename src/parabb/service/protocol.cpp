@@ -138,7 +138,7 @@ JobRequest request_from_json(const std::string& line) {
                         {"id", "graph", "procs", "comm", "topology",
                          "select", "branch", "lb", "br", "ub", "tt",
                          "threads", "scheduler", "steal_batch", "priority",
-                         "budget", "certify", "flight"});
+                         "budget", "certify", "flight", "degrade"});
 
   JobRequest req;
   req.id = get_string_field(doc, "id", "");
@@ -203,6 +203,9 @@ JobRequest request_from_json(const std::string& line) {
 
   req.certify = get_bool_field(doc, "certify", false);
   req.flight = get_bool_field(doc, "flight", false);
+  // Opt into the graceful-degradation ladder (default high-water marks;
+  // a no-op unless the budget carries max_active_bytes).
+  req.params.degrade.enabled = get_bool_field(doc, "degrade", false);
 
   if (const JsonValue* budget = doc.find("budget")) {
     if (!budget->is_object()) bad_request("budget must be an object");
@@ -264,6 +267,15 @@ std::string error_response_json(const std::string& id,
   JsonValue out = JsonValue::object();
   out.set("id", id.empty() ? "?" : id);
   out.set("error", message);
+  return out.dump();
+}
+
+std::string overloaded_response_json(const std::string& id,
+                                     double retry_after_ms) {
+  JsonValue out = JsonValue::object();
+  out.set("id", id.empty() ? "?" : id);
+  out.set("outcome", std::string("overloaded"));
+  out.set("retry_after_ms", retry_after_ms);
   return out.dump();
 }
 

@@ -59,6 +59,12 @@ std::string response_to_json(const JobResult& result, const TaskGraph& graph);
 std::string error_response_json(const std::string& id,
                                 const std::string& message);
 
+/// The load-shedding response line: {"id":...,"outcome":"overloaded",
+/// "retry_after_ms":N}. Emitted when admission control rejected the
+/// request and the client should back off (docs/robustness.md).
+std::string overloaded_response_json(const std::string& id,
+                                     double retry_after_ms);
+
 /// An in-band observability request: {"id":"m1","metrics":true} asks the
 /// server for one registry snapshot, answered on the same stream as
 /// {"id":"m1","metrics":{...}} (see docs/formats.md, "Metrics requests").

@@ -7,6 +7,7 @@
 #include "parabb/obs/observe.hpp"
 #include "parabb/obs/recorder.hpp"
 #include "parabb/obs/span.hpp"
+#include "parabb/robust/fault.hpp"
 #include "parabb/sched/context.hpp"
 #include "parabb/service/fingerprint.hpp"
 #include "parabb/support/assert.hpp"
@@ -27,6 +28,8 @@ std::vector<std::pair<std::string, std::uint64_t>> ServiceCounters::rows()
       {"  cancelled", cancelled},
       {"  infeasible", infeasible},
       {"  errors", errors},
+      {"jobs shed", shed},
+      {"watchdog cancels", watchdog_cancels},
       {"cache hits", cache_hits},
       {"cache misses", cache_misses},
       {"queue depth peak", queue_peak},
@@ -38,6 +41,12 @@ SolverService::SolverService(ServiceConfig config)
       cache_(config.cache_entries),
       pool_(config.workers <= 0 ? 0
                                 : static_cast<std::size_t>(config.workers)) {
+  if (config_.watchdog_stall_ms > 0) {
+    Watchdog::Config wc;
+    wc.stall_ms = config_.watchdog_stall_ms;
+    wc.interval_ms = std::max(1.0, config_.watchdog_stall_ms / 4.0);
+    watchdog_ = std::make_unique<Watchdog>(wc);
+  }
   bind_metrics();
 }
 
@@ -51,6 +60,8 @@ void SolverService::bind_metrics() {
   m_cancelled_ = reg->counter("parabb_service_jobs_cancelled_total");
   m_infeasible_ = reg->counter("parabb_service_jobs_infeasible_total");
   m_errors_ = reg->counter("parabb_service_jobs_error_total");
+  m_shed_ = reg->counter("parabb_service_jobs_shed_total");
+  m_watchdog_ = reg->counter("parabb_service_watchdog_cancels_total");
   m_cache_hits_ = reg->counter("parabb_service_cache_hits_total");
   m_cache_misses_ = reg->counter("parabb_service_cache_misses_total");
   m_queue_peak_ = reg->gauge("parabb_service_queue_depth_peak");
@@ -99,6 +110,19 @@ JobTicket SolverService::submit(
   JobTicket ticket;
   {
     const std::lock_guard lock(mutex_);
+    // Admission control: shed instead of queueing without bound. The
+    // retry hint grows with the backlog each worker already owes.
+    const bool injected_full =
+        config_.faults && config_.faults->submit_rejected();
+    if (injected_full || (config_.max_queue_depth > 0 &&
+                          pending_.size() >= config_.max_queue_depth)) {
+      ++counters_.shed;
+      if (m_shed_) m_shed_->add(1);
+      const double backlog =
+          static_cast<double>(pending_.size()) /
+          static_cast<double>(std::max<std::size_t>(1, pool_.thread_count()));
+      throw OverloadedError(25.0 * (1.0 + backlog));
+    }
     ticket = next_ticket_++;
     record->seq = ticket;
     jobs_.emplace(ticket, record);
@@ -149,8 +173,10 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
 
   // Jobs carrying opaque hooks (F/D) cannot be fingerprinted, so they
   // bypass the cache entirely rather than risk a stale-config hit.
-  const bool cacheable =
-      !req.params.characteristic && !req.params.dominance;
+  // Fault-afflicted runs are injection-dependent partial results and are
+  // never cached either.
+  const bool cacheable = !req.params.characteristic &&
+                         !req.params.dominance && !config_.faults;
   std::uint64_t fp = 0;
   std::string key;
   if (cacheable) {
@@ -174,6 +200,8 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
     params.trace = nullptr;  // service-owned fields
     params.observe = nullptr;
     apply_budget(params, req.budget, &record->token);
+    params.faults = config_.faults;
+    params.progress = &record->progress;
 
     Observation ob;
     ob.metrics = config_.metrics;
@@ -182,6 +210,30 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
 
     CertificateBuilder builder;
     if (req.certify) params.certify = &builder;
+
+    // Stagnation escalation: a running job whose progress feed stops
+    // advancing for watchdog_stall_ms is cancelled, turning a hung search
+    // into a defined kCancelled outcome. RAII so the registration is
+    // dropped on every exit path, including engine throws.
+    struct WatchGuard {
+      Watchdog* dog = nullptr;
+      std::uint64_t id = 0;
+      ~WatchGuard() {
+        if (dog) dog->unwatch(id);
+      }
+    } watch_guard;
+    if (watchdog_) {
+      watch_guard.dog = watchdog_.get();
+      watch_guard.id =
+          watchdog_->watch(&record->progress, [this, record] {
+            record->token.cancel();
+            {
+              const std::lock_guard lock(mutex_);
+              ++counters_.watchdog_cancels;
+            }
+            if (m_watchdog_) m_watchdog_->add(1);
+          });
+    }
 
     Stopwatch watch;
     ScopedSpan search_span(config_.spans, "search", req.id);

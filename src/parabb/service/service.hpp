@@ -28,23 +28,27 @@
 // Thread-safe: submit/cancel/wait/counters may be called from any thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "parabb/bnb/cancel.hpp"
 #include "parabb/obs/metrics.hpp"
+#include "parabb/robust/watchdog.hpp"
 #include "parabb/service/cache.hpp"
 #include "parabb/service/job.hpp"
 #include "parabb/support/threadpool.hpp"
 
 namespace parabb {
 
-class SpanLog;  // obs/span.hpp
+class SpanLog;         // obs/span.hpp
+class FaultInjector;   // robust/fault.hpp
 
 struct ServiceConfig {
   /// Concurrent solve cap = worker threads; 0 = hardware concurrency.
@@ -67,6 +71,33 @@ struct ServiceConfig {
   /// Ring capacity (events per engine worker) for jobs that request a
   /// flight-recorder dump.
   std::size_t flight_capacity = 256;
+
+  /// Admission control: submissions past this many pending jobs are shed
+  /// with OverloadedError instead of queued (0 = unbounded, the default).
+  /// Load shedding keeps a saturated service's latency bounded: a client
+  /// sees `overloaded` + a retry hint instead of an unbounded queue wait.
+  std::size_t max_queue_depth = 0;
+
+  /// Stagnation watchdog: a running job whose generated-count has not
+  /// advanced for this long is escalated by tripping its CancelToken, so
+  /// a hung search unwinds into a defined kCancelled outcome (0 = off).
+  double watchdog_stall_ms = 0;
+
+  /// Optional fault injector (robust/fault.hpp); not owned, may be null,
+  /// must outlive the service. Threaded into every job's Params::faults
+  /// and consulted for kQueueFull admission rejections. Fault-afflicted
+  /// results are never cached (they are injection-dependent).
+  FaultInjector* faults = nullptr;
+};
+
+/// Thrown by submit() when admission control sheds the job (queue full or
+/// an injected kQueueFull fault). `retry_after_ms` is the service's
+/// backoff hint, scaled by the current queue depth per worker.
+class OverloadedError : public std::runtime_error {
+ public:
+  explicit OverloadedError(double retry_ms)
+      : std::runtime_error("service overloaded"), retry_after_ms(retry_ms) {}
+  double retry_after_ms = 0;
 };
 
 /// Service-level counters (monotone; queue_peak is a high-water mark).
@@ -78,6 +109,8 @@ struct ServiceCounters {
   std::uint64_t cancelled = 0;   ///< ... with outcome cancelled
   std::uint64_t infeasible = 0;  ///< ... with outcome infeasible
   std::uint64_t errors = 0;      ///< ... that failed with an error
+  std::uint64_t shed = 0;        ///< submissions rejected by admission control
+  std::uint64_t watchdog_cancels = 0;  ///< jobs cancelled for stagnation
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::size_t queue_peak = 0;    ///< pending-queue depth high-water mark
@@ -101,7 +134,8 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
-  /// Admits a job. `on_done` (optional) fires exactly once with the
+  /// Admits a job; throws OverloadedError (without admitting) when
+  /// admission control sheds it. `on_done` (optional) fires exactly once with the
   /// terminal result, on a worker thread (or on the canceller's thread
   /// for a job cancelled before it ran); it must not block for long and
   /// must not call wait() on its own job. wait_all() does not return
@@ -136,6 +170,8 @@ class SolverService {
     State state = State::kPending;
     JobResult result;
     std::uint64_t seq = 0;  ///< admission order, FIFO tie-break
+    /// Engine progress feed (Params::progress) the watchdog scans.
+    std::atomic<std::uint64_t> progress{0};
   };
 
   /// Max-heap orders pending jobs: higher priority first, then lower seq.
@@ -159,6 +195,9 @@ class SolverService {
   ServiceConfig config_;
   ResultCache cache_;
   ThreadPool pool_;
+  /// Stagnation watchdog; null unless config_.watchdog_stall_ms > 0.
+  /// Declared after pool_ so it is destroyed (joined) first.
+  std::unique_ptr<Watchdog> watchdog_;
 
   // Registry handles; all null when config_.metrics is null. Counters are
   // bumped next to their ServiceCounters twins so both views agree.
@@ -169,6 +208,8 @@ class SolverService {
   Counter* m_cancelled_ = nullptr;
   Counter* m_infeasible_ = nullptr;
   Counter* m_errors_ = nullptr;
+  Counter* m_shed_ = nullptr;
+  Counter* m_watchdog_ = nullptr;
   Counter* m_cache_hits_ = nullptr;
   Counter* m_cache_misses_ = nullptr;
   Gauge* m_queue_peak_ = nullptr;

@@ -77,6 +77,13 @@ void CertificateBuilder::record_cut(const SchedContext& ctx,
       {state.fingerprint(), rule, claimed_bound, std::move(path)});
 }
 
+void CertificateBuilder::record_degrade(std::string action,
+                                        std::uint64_t at_generated,
+                                        int level) {
+  std::lock_guard lock(mutex_);
+  cert_.degrades.push_back({std::move(action), at_generated, level});
+}
+
 void CertificateBuilder::finish(bool found, const Schedule& incumbent,
                                 Time cost, bool complete,
                                 std::uint64_t expanded,

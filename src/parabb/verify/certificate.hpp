@@ -68,6 +68,17 @@ struct CutRecord {
   std::vector<CutPlacement> path;
 };
 
+/// One graceful-degradation ladder rung applied during the run
+/// (robust/degrade.hpp). Recorded so a verifier auditing a degraded run
+/// knows from which point the search was no longer complete: a
+/// `tighten_db` / `bf1` / `df` rung voids `complete` (the engines mark
+/// the result compromised), while `shed_tt` keeps completeness.
+struct DegradeRecord {
+  std::string action;             ///< to_string(DegradeAction)
+  std::uint64_t at_generated = 0; ///< generated-count when the rung fired
+  int level = 0;                  ///< 1-based ladder level after the step
+};
+
 struct Certificate {
   int task_count = 0;
   int procs = 0;
@@ -88,6 +99,8 @@ struct Certificate {
   bool truncated = false;  ///< the audit log hit the builder's cap
   std::uint64_t expanded = 0;
   std::uint64_t generated = 0;
+  /// Ladder rungs applied, in firing order (empty unless the run degraded).
+  std::vector<DegradeRecord> degrades;
   std::vector<CutRecord> cuts;
 };
 
@@ -104,6 +117,11 @@ class CertificateBuilder {
   /// once `max_cuts` is reached).
   void record_cut(const SchedContext& ctx, const PartialSchedule& state,
                   CutRule rule, Time claimed_bound);
+
+  /// Appends one degradation-ladder record (never truncated: a run fires
+  /// at most four rungs).
+  void record_degrade(std::string action, std::uint64_t at_generated,
+                      int level);
 
   void finish(bool found, const Schedule& incumbent, Time cost,
               bool complete, std::uint64_t expanded,

@@ -79,6 +79,10 @@ std::string certificate_to_text(const Certificate& cert,
          << " start=" << e.start << " finish=" << e.finish << '\n';
     }
   }
+  for (const DegradeRecord& d : cert.degrades) {
+    os << "degrade " << d.action << " at=" << d.at_generated
+       << " level=" << d.level << '\n';
+  }
   for (const CutRecord& rec : cert.cuts) {
     char fp_buf[32];
     std::snprintf(fp_buf, sizeof fp_buf, "%016llx",
@@ -153,6 +157,16 @@ Certificate certificate_from_text(const std::string& text,
       // incumbent parses exactly like a standalone schedule file.
       sched_block += line;
       sched_block += '\n';
+    } else if (kind == "degrade") {
+      std::string action, at, level;
+      if (!(ls >> action >> at >> level))
+        parse_fail(lineno, "degrade needs: <action> at= level=");
+      DegradeRecord rec;
+      rec.action = action;
+      rec.at_generated =
+          static_cast<std::uint64_t>(int_attr(at, "at", lineno));
+      rec.level = static_cast<int>(int_attr(level, "level", lineno));
+      cert.degrades.push_back(std::move(rec));
     } else if (kind == "cut") {
       std::string rule, fp, bound, path;
       if (!(ls >> rule >> fp >> bound >> path))

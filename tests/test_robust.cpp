@@ -1,0 +1,590 @@
+// Robustness suite (docs/robustness.md): deterministic fault injection,
+// the graceful-degradation ladder, the stagnation watchdog, and the
+// service's admission control.
+//
+// The load-bearing contract: every injected fault resolves to a *defined*
+// JobOutcome — never a crash, deadlock, or silent wrong answer. The
+// seeded fault matrix sweeps 200 reproducible plans across the sequential
+// engine and both parallel schedulers; tools/fault_sweep.sh re-runs this
+// binary under ASan and TSan so "no silent corruption" is certified, not
+// assumed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "parabb/bnb/engine.hpp"
+#include "parabb/bnb/parallel_engine.hpp"
+#include "parabb/robust/degrade.hpp"
+#include "parabb/robust/fault.hpp"
+#include "parabb/robust/watchdog.hpp"
+#include "parabb/sched/validator.hpp"
+#include "parabb/service/protocol.hpp"
+#include "parabb/service/service.hpp"
+#include "parabb/support/json.hpp"
+#include "parabb/verify/certificate.hpp"
+#include "parabb/verify/certificate_io.hpp"
+#include "parabb/verify/verifier.hpp"
+#include "test_util.hpp"
+
+namespace parabb {
+namespace {
+
+FaultPlan one_fault(FaultKind kind, std::uint64_t at, std::int64_t param = 0) {
+  FaultPlan plan;
+  plan.faults.push_back(FaultSpec{kind, at, param});
+  return plan;
+}
+
+/// A defined terminal state: a known reason, and any claimed schedule is
+/// validator-clean. This is what "no silent wrong answer" means here.
+void expect_defined(const TaskGraph& g, const Machine& m, bool found,
+                    const Schedule& best, TerminationReason reason,
+                    const std::string& what) {
+  switch (reason) {
+    case TerminationReason::kExhausted:
+    case TerminationReason::kBoundStop:
+    case TerminationReason::kTimeLimit:
+    case TerminationReason::kBudget:
+    case TerminationReason::kCancelled:
+      break;
+    default:
+      FAIL() << what << ": undefined termination reason";
+  }
+  if (found) {
+    const ValidationReport rep = validate_schedule(best, g, m);
+    EXPECT_TRUE(rep.structurally_sound) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans and injector hooks
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 987654321ull}) {
+    const FaultPlan a = FaultPlan::random(seed);
+    const FaultPlan b = FaultPlan::random(seed);
+    ASSERT_EQ(a.faults.size(), b.faults.size()) << "seed " << seed;
+    EXPECT_EQ(a.describe(), b.describe()) << "seed " << seed;
+    ASSERT_GE(a.faults.size(), 1u);
+    ASSERT_LE(a.faults.size(), 3u);
+  }
+  EXPECT_NE(FaultPlan::random(1).describe(), FaultPlan::random(2).describe());
+}
+
+TEST(FaultInjector, AllocFailFiresExactlyOnce) {
+  FaultInjector inj(one_fault(FaultKind::kAllocFail, 10));
+  inj.on_alloc(5);  // below threshold: nothing
+  EXPECT_EQ(inj.fired(), 0u);
+  EXPECT_THROW(inj.on_alloc(10), std::bad_alloc);
+  EXPECT_EQ(inj.fired(), 1u);
+  inj.on_alloc(11);  // budget consumed: no second throw
+  EXPECT_EQ(inj.fired(), 1u);
+}
+
+TEST(FaultInjector, CancelStormIsSticky) {
+  const FaultInjector inj(one_fault(FaultKind::kCancelStorm, 100));
+  EXPECT_FALSE(inj.cancel_requested(99));
+  EXPECT_TRUE(inj.cancel_requested(100));
+  EXPECT_TRUE(inj.cancel_requested(50));  // sticky once observed
+}
+
+TEST(FaultInjector, ClockSkewSumsTriggeredSpecs) {
+  FaultPlan plan;
+  plan.faults.push_back(FaultSpec{FaultKind::kClockSkew, 10, 2000});
+  plan.faults.push_back(FaultSpec{FaultKind::kClockSkew, 100, -500});
+  const FaultInjector inj(plan);
+  EXPECT_DOUBLE_EQ(inj.clock_skew_s(5), 0.0);
+  EXPECT_DOUBLE_EQ(inj.clock_skew_s(10), 2.0);
+  EXPECT_DOUBLE_EQ(inj.clock_skew_s(100), 1.5);
+}
+
+TEST(FaultInjector, QueueFullConsumesRejectionBudget) {
+  FaultInjector inj(one_fault(FaultKind::kQueueFull, 0, /*param=*/2));
+  EXPECT_TRUE(inj.submit_rejected());
+  EXPECT_TRUE(inj.submit_rejected());
+  EXPECT_FALSE(inj.submit_rejected());
+  EXPECT_EQ(inj.fired(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Degrade schedule
+// ---------------------------------------------------------------------------
+
+TEST(DegradeSchedule, DisabledConfigHasNoRungs) {
+  const DegradeSchedule s = DegradeSchedule::from(DegradeConfig{});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.target_level(100, 100), 0);
+}
+
+TEST(DegradeSchedule, RungsSortedAndFiltered) {
+  DegradeConfig cfg;
+  cfg.enabled = true;
+  cfg.bf1_frac = 0.3;  // out of order on purpose
+  cfg.tighten_db_frac = -1.0;  // disabled rung
+  const DegradeSchedule s = DegradeSchedule::from(cfg);
+  ASSERT_EQ(s.count, 3);
+  EXPECT_EQ(s.rungs[0].action, DegradeAction::kBF1);
+  EXPECT_EQ(s.rungs[1].action, DegradeAction::kShedTT);
+  EXPECT_EQ(s.rungs[2].action, DegradeAction::kDF);
+  for (int i = 1; i < s.count; ++i) {
+    EXPECT_LE(s.rungs[static_cast<std::size_t>(i - 1)].frac,
+              s.rungs[static_cast<std::size_t>(i)].frac);
+  }
+}
+
+TEST(DegradeSchedule, TargetLevelMonotone) {
+  DegradeConfig cfg;
+  cfg.enabled = true;
+  const DegradeSchedule s = DegradeSchedule::from(cfg);
+  ASSERT_EQ(s.count, 4);
+  EXPECT_EQ(s.target_level(0, 1000), 0);
+  EXPECT_EQ(s.target_level(550, 1000), 1);
+  EXPECT_EQ(s.target_level(700, 1000), 2);
+  EXPECT_EQ(s.target_level(850, 1000), 3);
+  EXPECT_EQ(s.target_level(2000, 1000), 4);
+  EXPECT_EQ(s.target_level(2000, 0), 0);  // unbounded budget: never
+}
+
+TEST(DegradeAction, StringRoundTrip) {
+  for (const DegradeAction a :
+       {DegradeAction::kShedTT, DegradeAction::kTightenDB, DegradeAction::kBF1,
+        DegradeAction::kDF}) {
+    DegradeAction parsed{};
+    ASSERT_TRUE(parse_degrade_action(to_string(a), parsed));
+    EXPECT_EQ(parsed, a);
+  }
+  DegradeAction parsed{};
+  EXPECT_FALSE(parse_degrade_action("bogus", parsed));
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, FiresOnStagnationOnce) {
+  Watchdog::Config cfg;
+  cfg.interval_ms = 5;
+  cfg.stall_ms = 30;
+  Watchdog dog(cfg);
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> fired{0};
+  const std::uint64_t id =
+      dog.watch(&progress, [&fired] { fired.fetch_add(1); });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(dog.stalls_fired(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(fired.load(), 1);  // at most once per registration
+  dog.unwatch(id);
+}
+
+TEST(WatchdogTest, AdvancingProgressNeverFires) {
+  Watchdog::Config cfg;
+  cfg.interval_ms = 5;
+  cfg.stall_ms = 60;
+  Watchdog dog(cfg);
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> fired{0};
+  const std::uint64_t id =
+      dog.watch(&progress, [&fired] { fired.fetch_add(1); });
+  for (int i = 0; i < 20; ++i) {
+    progress.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  dog.unwatch(id);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level fault handling
+// ---------------------------------------------------------------------------
+
+TEST(EngineFaults, SequentialAllocFailResolvesToBudget) {
+  const TaskGraph g = test::tight_instance(3);
+  const Machine m = make_shared_bus_machine(3);
+  const SchedContext ctx(g, m);
+  FaultInjector inj(one_fault(FaultKind::kAllocFail, 50));
+  Params params;
+  params.faults = &inj;
+  const SearchResult r = solve_bnb(ctx, params);
+  EXPECT_EQ(r.reason, TerminationReason::kBudget);
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_TRUE(r.found_solution);  // the EDF seed survives the fault
+  EXPECT_FALSE(r.proved);
+  expect_defined(g, m, r.found_solution, r.best, r.reason, "seq alloc");
+}
+
+TEST(EngineFaults, SequentialCancelStormResolvesToCancelled) {
+  // Seed 3 expands ~5600 vertices: the 256-iteration poll cadence fires
+  // many times after the storm's threshold.
+  const SchedContext ctx = test::make_ctx(test::tight_instance(3), 3);
+  FaultInjector inj(one_fault(FaultKind::kCancelStorm, 300));
+  Params params;
+  params.faults = &inj;
+  const SearchResult r = solve_bnb(ctx, params);
+  EXPECT_EQ(r.reason, TerminationReason::kCancelled);
+  EXPECT_EQ(outcome_of(r.reason, r.found_solution), JobOutcome::kCancelled);
+}
+
+TEST(EngineFaults, SequentialClockSkewTripsTimeLimit) {
+  const SchedContext ctx = test::make_ctx(test::tight_instance(7), 3);
+  // +1 hour of skew at vertex 300 against a 30 s limit: the time-limit
+  // path must fire long before any real 30 s elapse.
+  FaultInjector inj(one_fault(FaultKind::kClockSkew, 300, 3600 * 1000));
+  Params params;
+  params.faults = &inj;
+  params.rb.time_limit_s = 30.0;
+  const SearchResult r = solve_bnb(ctx, params);
+  EXPECT_EQ(r.reason, TerminationReason::kTimeLimit);
+  EXPECT_EQ(outcome_of(r.reason, r.found_solution),
+            JobOutcome::kFeasibleTimeout);
+}
+
+TEST(EngineFaults, SequentialStallOnlyDelays) {
+  const SchedContext ctx = test::make_ctx(test::tight_instance(11), 3);
+  const SearchResult clean = solve_bnb(ctx, Params{});
+  FaultInjector inj(one_fault(FaultKind::kStall, 300, /*ms=*/5));
+  Params params;
+  params.faults = &inj;
+  const SearchResult r = solve_bnb(ctx, params);
+  EXPECT_EQ(r.best_cost, clean.best_cost);
+  EXPECT_EQ(r.proved, clean.proved);
+}
+
+TEST(EngineFaults, ParallelAllocFailResolvesToBudget) {
+  const TaskGraph g = test::tight_instance(11);
+  const Machine m = make_shared_bus_machine(3);
+  const SchedContext ctx(g, m);
+  for (const ParallelScheduler sched :
+       {ParallelScheduler::kWorkStealing, ParallelScheduler::kCentralQueue}) {
+    FaultInjector inj(one_fault(FaultKind::kAllocFail, 200));
+    ParallelParams pp;
+    pp.threads = 4;
+    pp.scheduler = sched;
+    pp.base.faults = &inj;
+    const ParallelResult r = solve_bnb_parallel(ctx, pp);
+    EXPECT_EQ(r.reason, TerminationReason::kBudget) << to_string(sched);
+    EXPECT_FALSE(r.proved) << to_string(sched);
+    expect_defined(g, m, r.found_solution, r.best, r.reason,
+                   "parallel alloc " + to_string(sched));
+  }
+}
+
+TEST(EngineFaults, ParallelCancelStormResolvesToCancelled) {
+  const SchedContext ctx = test::make_ctx(test::tight_instance(7), 3);
+  for (const ParallelScheduler sched :
+       {ParallelScheduler::kWorkStealing, ParallelScheduler::kCentralQueue}) {
+    FaultInjector inj(one_fault(FaultKind::kCancelStorm, 500));
+    ParallelParams pp;
+    pp.threads = 4;
+    pp.scheduler = sched;
+    pp.base.faults = &inj;
+    const ParallelResult r = solve_bnb_parallel(ctx, pp);
+    EXPECT_EQ(r.reason, TerminationReason::kCancelled) << to_string(sched);
+  }
+}
+
+// The acceptance gate: >= 200 seeded plans, every one terminating with a
+// defined outcome, across the sequential engine and both parallel
+// schedulers (4- and 8-thread). fault_sweep.sh re-runs this under
+// ASan/TSan.
+TEST(FaultMatrix, TwoHundredSeededPlansAllResolve) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed);
+    FaultInjector inj(plan);
+    const TaskGraph g = test::tight_instance(seed % 17);
+    const Machine m = make_shared_bus_machine(3);
+    const SchedContext ctx(g, m);
+
+    Params base;
+    base.faults = &inj;
+    base.rb.max_generated = 20000;  // bound the matrix's runtime
+    base.rb.time_limit_s = 30.0;    // give clock-skew plans a limit to hit
+
+    bool found = false;
+    Schedule best;
+    TerminationReason reason{};
+    if (seed % 3 == 0) {
+      const SearchResult r = solve_bnb(ctx, base);
+      found = r.found_solution;
+      best = r.best;
+      reason = r.reason;
+    } else {
+      ParallelParams pp;
+      pp.base = base;
+      pp.threads = seed % 3 == 1 ? 4 : 8;
+      pp.scheduler = seed % 2 == 0 ? ParallelScheduler::kWorkStealing
+                                   : ParallelScheduler::kCentralQueue;
+      const ParallelResult r = solve_bnb_parallel(ctx, pp);
+      found = r.found_solution;
+      best = r.best;
+      reason = r.reason;
+    }
+    expect_defined(g, m, found, best, reason,
+                   "matrix seed " + std::to_string(seed) + " plan " +
+                       plan.describe());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful-degradation ladder
+// ---------------------------------------------------------------------------
+
+struct CappedRun {
+  bool found = false;
+  Time cost = kTimeInf;
+  TerminationReason reason{};
+  SearchStats stats;
+};
+
+// LLB selection with no initial incumbent is the memory-hungry regime
+// the ladder exists for: the best-first frontier balloons (LIFO keeps
+// the active set at a few dozen vertices, so a memory cap never bites
+// there), and until the search itself finds a goal there is nothing to
+// fall back on when the budget cliff hits.
+CappedRun run_capped(const SchedContext& ctx, std::size_t cap, bool ladder) {
+  Params p;
+  p.select = SelectRule::kLLB;
+  p.ub = UpperBoundInit::kInfinite;  // incumbents must come from the search
+  p.rb.max_generated = 60000;        // safety net
+  if (cap != 0) p.rb.max_memory_bytes = cap;
+  p.degrade.enabled = ladder;
+  const SearchResult r = solve_bnb(ctx, p);
+  return {r.found_solution, r.best_cost, r.reason, r.stats};
+}
+
+TEST(DegradeLadder, OffPathIsByteIdenticalToBaseline) {
+  const SchedContext ctx = test::make_ctx(test::tight_instance(2), 3);
+  // enabled without a memory budget, and a memory budget without enabled:
+  // both must match the plain run vertex for vertex.
+  const CappedRun plain = run_capped(ctx, 0, false);
+  const CappedRun enabled_nocap = run_capped(ctx, 0, true);
+  EXPECT_EQ(plain.cost, enabled_nocap.cost);
+  EXPECT_EQ(plain.stats.generated, enabled_nocap.stats.generated);
+  EXPECT_EQ(plain.stats.expanded, enabled_nocap.stats.expanded);
+  EXPECT_EQ(plain.stats.degrade_steps, 0u);
+  EXPECT_EQ(enabled_nocap.stats.degrade_steps, 0u);
+
+  const std::size_t cap = plain.stats.peak_memory_bytes / 2;
+  if (cap > 0) {
+    const CappedRun off_a = run_capped(ctx, cap, false);
+    const CappedRun off_b = run_capped(ctx, cap, false);
+    EXPECT_EQ(off_a.cost, off_b.cost);
+    EXPECT_EQ(off_a.stats.generated, off_b.stats.generated);
+    EXPECT_EQ(off_a.stats.degrade_steps, 0u);
+  }
+}
+
+TEST(DegradeLadder, RungsFireAndAreObservable) {
+  // Find a seed whose memory-capped run actually climbs the ladder, then
+  // check the full observability chain: stats counter, certificate
+  // records, and the text round trip.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const TaskGraph g = test::tight_instance(seed);
+    const Machine m = make_shared_bus_machine(3);
+    const SchedContext ctx(g, m);
+    const CappedRun probe = run_capped(ctx, 0, false);
+    const std::size_t cap = probe.stats.peak_memory_bytes / 2;
+    if (cap == 0) continue;
+
+    Params p;
+    p.select = SelectRule::kLLB;
+    p.ub = UpperBoundInit::kInfinite;
+    p.rb.max_generated = 60000;
+    p.rb.max_memory_bytes = cap;
+    p.degrade.enabled = true;
+    CertificateBuilder builder;
+    p.certify = &builder;
+    const SearchResult r = solve_bnb(ctx, p);
+    if (r.stats.degrade_steps == 0) continue;
+
+    EXPECT_FALSE(r.proved);
+    const Certificate cert = builder.take();
+    ASSERT_EQ(cert.degrades.size(), r.stats.degrade_steps);
+    for (std::size_t i = 0; i < cert.degrades.size(); ++i) {
+      DegradeAction a{};
+      EXPECT_TRUE(parse_degrade_action(cert.degrades[i].action, a));
+      EXPECT_EQ(cert.degrades[i].level, static_cast<int>(i) + 1);
+    }
+    // Text round trip preserves the degrade audit trail.
+    const std::string text = certificate_to_text(cert, g);
+    const Certificate parsed = certificate_from_text(text, g);
+    ASSERT_EQ(parsed.degrades.size(), cert.degrades.size());
+    for (std::size_t i = 0; i < cert.degrades.size(); ++i) {
+      EXPECT_EQ(parsed.degrades[i].action, cert.degrades[i].action);
+      EXPECT_EQ(parsed.degrades[i].at_generated,
+                cert.degrades[i].at_generated);
+      EXPECT_EQ(parsed.degrades[i].level, cert.degrades[i].level);
+    }
+    return;  // one degrading seed is enough
+  }
+  FAIL() << "no seed in [0,30) climbed the ladder under a half-peak cap";
+}
+
+TEST(DegradeLadder, ParallelRungsFireUnderMemoryCap) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const SchedContext ctx = test::make_ctx(test::tight_instance(seed), 3);
+    ParallelParams probe;
+    probe.threads = 4;
+    probe.base.ub = UpperBoundInit::kInfinite;
+    probe.base.rb.max_generated = 400000;
+    const ParallelResult pr = solve_bnb_parallel(ctx, probe);
+    if (pr.stats.peak_memory_bytes < 4096) continue;
+
+    ParallelParams pp = probe;
+    pp.base.rb.max_memory_bytes = pr.stats.peak_memory_bytes / 2;
+    pp.base.degrade.enabled = true;
+    const ParallelResult r = solve_bnb_parallel(ctx, pp);
+    if (r.stats.degrade_steps == 0) continue;
+    EXPECT_GE(r.stats.degrade_steps, 1u);
+    // A branch-rule or child-cap rung voids the proof.
+    if (r.stats.degrade_steps > 1) {
+      EXPECT_FALSE(r.proved);
+    }
+    return;
+  }
+  FAIL() << "no seed in [0,30) climbed the parallel ladder";
+}
+
+// Quality gate: on memory-capped instances the ladder must never lose to
+// the dispose-only cliff in aggregate, and must strictly win on a decent
+// fraction of the grid (the whole point of degrading before disposing).
+TEST(DegradeLadder, QualityGridLadderBeatsDisposeOnly) {
+  const Time kBig = 1'000'000;  // stands in for "found nothing"
+  long long ladder_total = 0;
+  long long dispose_total = 0;
+  int wins = 0;
+  int losses = 0;
+  int contested = 0;  // seeds where the cap actually bit
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const SchedContext ctx = test::make_ctx(test::tight_instance(seed), 3);
+    const CappedRun probe = run_capped(ctx, 0, false);
+    const std::size_t cap = probe.stats.peak_memory_bytes / 2;
+    if (cap == 0) continue;
+    const CappedRun off = run_capped(ctx, cap, false);
+    const CappedRun on = run_capped(ctx, cap, true);
+    const Time off_cost = off.found ? off.cost : kBig;
+    const Time on_cost = on.found ? on.cost : kBig;
+    ladder_total += on_cost;
+    dispose_total += off_cost;
+    if (off.reason == TerminationReason::kBudget ||
+        on.stats.degrade_steps > 0) {
+      ++contested;
+    }
+    if (on_cost < off_cost) ++wins;
+    if (on_cost > off_cost) ++losses;
+  }
+  EXPECT_LE(ladder_total, dispose_total);
+  EXPECT_GE(contested, 20) << "grid too easy: caps rarely bit";
+  EXPECT_GE(wins, losses);
+  EXPECT_GE(wins, contested / 5)
+      << "ladder strictly better on < 20% of contested seeds";
+}
+
+// ---------------------------------------------------------------------------
+// Service outer ring
+// ---------------------------------------------------------------------------
+
+JobRequest make_request(const std::string& id, std::uint64_t seed = 3) {
+  JobRequest req;
+  req.id = id;
+  req.graph = test::tight_instance(seed);
+  req.machine = make_shared_bus_machine(3);
+  return req;
+}
+
+TEST(ServiceRobust, QueueDepthOverloadSheds) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue_depth = 1;
+  SolverService service(cfg);
+  int overloaded = 0;
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    try {
+      tickets.push_back(service.submit(make_request("q" + std::to_string(i))));
+    } catch (const OverloadedError& e) {
+      ++overloaded;
+      EXPECT_GT(e.retry_after_ms, 0.0);
+    }
+  }
+  service.wait_all();
+  EXPECT_GT(overloaded, 0);
+  EXPECT_EQ(service.counters().shed, static_cast<std::uint64_t>(overloaded));
+  for (const JobTicket t : tickets) {
+    const JobResult r = service.wait(t);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+  }
+}
+
+TEST(ServiceRobust, InjectedQueueFullSheds) {
+  FaultInjector inj(one_fault(FaultKind::kQueueFull, 0, /*param=*/2));
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.faults = &inj;
+  SolverService service(cfg);
+  EXPECT_THROW(service.submit(make_request("f1")), OverloadedError);
+  EXPECT_THROW(service.submit(make_request("f2")), OverloadedError);
+  const JobTicket t = service.submit(make_request("f3"));
+  const JobResult r = service.wait(t);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(service.counters().shed, 2u);
+  EXPECT_FALSE(r.cached);  // fault-afflicted services never cache
+}
+
+TEST(ServiceRobust, WatchdogCancelsStagnantJob) {
+  // A 600 ms injected stall against a 100 ms stall threshold: the job's
+  // progress feed freezes mid-search, the watchdog trips its token, and
+  // the job unwinds into a defined kCancelled outcome.
+  FaultInjector inj(one_fault(FaultKind::kStall, 400, /*ms=*/600));
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.watchdog_stall_ms = 100;
+  cfg.faults = &inj;
+  SolverService service(cfg);
+  JobRequest req = make_request("stall", 7);
+  req.params.ub = UpperBoundInit::kInfinite;  // keep the search long
+  req.budget.max_generated = 4000000;
+  const JobTicket t = service.submit(std::move(req));
+  const JobResult r = service.wait(t);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.outcome, JobOutcome::kCancelled);
+  EXPECT_GE(service.counters().watchdog_cancels, 1u);
+}
+
+TEST(ServiceRobust, DegradeRequestFieldThreadsThrough) {
+  const JobRequest req = request_from_json(
+      R"({"id":"d1","graph":"task a exec=3","degrade":true,)"
+      R"("budget":{"max_active_bytes":1000000}})");
+  EXPECT_TRUE(req.params.degrade.enabled);
+  EXPECT_THROW(request_from_json(R"({"id":"d2","graph":"task a exec=3",)"
+                                 R"("degrade":1})"),
+               std::runtime_error);
+}
+
+TEST(ServiceRobust, OverloadedResponseShape) {
+  const JsonValue doc =
+      JsonValue::parse(overloaded_response_json("r9", 37.5));
+  EXPECT_EQ(doc.find("id")->as_string(), "r9");
+  EXPECT_EQ(doc.find("outcome")->as_string(), "overloaded");
+  EXPECT_DOUBLE_EQ(doc.find("retry_after_ms")->as_double(), 37.5);
+}
+
+TEST(ServiceRobust, ExitCodeTaxonomyIsStable) {
+  EXPECT_EQ(exit_code_for(JobOutcome::kOptimal), 0);
+  EXPECT_EQ(exit_code_for(JobOutcome::kFeasibleTimeout), 3);
+  EXPECT_EQ(exit_code_for(JobOutcome::kCancelled), 4);
+  EXPECT_EQ(exit_code_for(JobOutcome::kInfeasible), 5);
+}
+
+}  // namespace
+}  // namespace parabb

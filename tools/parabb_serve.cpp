@@ -24,17 +24,20 @@
 // Protocol schema: docs/formats.md, "Solver service protocol".
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "parabb/obs/metrics.hpp"
 #include "parabb/obs/span.hpp"
+#include "parabb/robust/fault.hpp"
 #include "parabb/service/protocol.hpp"
 #include "parabb/service/service.hpp"
 #include "parabb/support/cli.hpp"
@@ -115,7 +118,30 @@ int main(int argc, char** argv) {
                     "write a Prometheus text dump here at shutdown", "");
   parser.add_option("spans", "write phase spans (JSONL) here at shutdown",
                     "");
+  parser.add_option("max-queue",
+                    "admission control: shed submissions past this many "
+                    "pending jobs (0 = unbounded)",
+                    "0");
+  parser.add_option("watchdog-ms",
+                    "cancel a running job after this long without search "
+                    "progress (0 = off)",
+                    "0");
+  parser.add_option("resubmit",
+                    "max exponential-backoff resubmits after an "
+                    "overloaded rejection",
+                    "3");
+  parser.add_option("inject-faults",
+                    "run every job under a seeded fault plan (robustness "
+                    "testing; empty = off)",
+                    "");
   parser.add_flag("quiet", "suppress the shutdown counters summary");
+
+#ifdef SIGPIPE
+  // A client closing the response stream must not kill the server with
+  // SIGPIPE; writes fail with EPIPE instead, which emit() detects and
+  // turns into a clean drain + exit 6 (docs/robustness.md).
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
 
   try {
     if (!parser.parse(argc, argv)) return 0;
@@ -140,20 +166,39 @@ int main(int argc, char** argv) {
     MetricsRegistry registry;
     SpanLog span_log;
 
+    std::optional<FaultInjector> injector;
+    if (const std::string fs = parser.get_string("inject-faults");
+        !fs.empty()) {
+      injector.emplace(
+          FaultPlan::random(static_cast<std::uint64_t>(std::stoull(fs))));
+      std::fprintf(stderr, "fault plan: %s\n",
+                   injector->plan().describe().c_str());
+    }
+
     ServiceConfig config;
     config.workers = static_cast<int>(parser.get_int("workers"));
     config.cache_entries =
         static_cast<std::size_t>(parser.get_int("cache"));
     config.metrics = &registry;
     config.spans = &span_log;
+    config.max_queue_depth =
+        static_cast<std::size_t>(parser.get_int("max-queue"));
+    config.watchdog_stall_ms = parser.get_double("watchdog-ms");
+    if (injector) config.faults = &*injector;
     SolverService service(config);
 
+    // A closed/broken stdout (client went away) stops the read loop; the
+    // in-flight jobs still drain so the service shuts down cleanly.
+    std::atomic<bool> out_broken{false};
     std::mutex out_mutex;
-    const auto emit = [&out_mutex](const std::string& json_line) {
+    const auto emit = [&out_mutex, &out_broken](const std::string& json_line) {
       std::lock_guard lock(out_mutex);
-      std::fputs(json_line.c_str(), stdout);
-      std::fputc('\n', stdout);
-      std::fflush(stdout);
+      if (out_broken.load(std::memory_order_relaxed)) return;
+      if (std::fputs(json_line.c_str(), stdout) < 0 ||
+          std::fputc('\n', stdout) < 0 || std::fflush(stdout) != 0) {
+        std::clearerr(stdout);
+        out_broken.store(true, std::memory_order_relaxed);
+      }
     };
 
     // Periodic snapshot streamer (stderr, so stdout stays pure protocol).
@@ -178,10 +223,13 @@ int main(int argc, char** argv) {
       });
     }
 
+    const int max_resubmits =
+        static_cast<int>(parser.get_int("resubmit"));
     std::uint64_t rejected = 0;
     std::size_t line_no = 0;
     std::string line;
-    while (std::getline(in, line)) {
+    while (!out_broken.load(std::memory_order_relaxed) &&
+           std::getline(in, line)) {
       ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
@@ -206,13 +254,30 @@ int main(int argc, char** argv) {
         emit(error_response_json(salvage_id(line), e.what()));
         continue;
       }
-      // The request is moved into the service; the responder needs the
-      // graph for task names, so it keeps its own copy.
+      // The responder needs the graph for task names, so it keeps its
+      // own copy (the request itself is copied per submission attempt).
       auto graph = std::make_shared<const TaskGraph>(request.graph);
-      service.submit(std::move(request),
-                     [&emit, graph](const JobResult& result) {
-                       emit(response_to_json(result, *graph));
-                     });
+      const auto on_done = [&emit, graph](const JobResult& result) {
+        emit(response_to_json(result, *graph));
+      };
+      // Overloaded rejections are retried with exponential backoff on
+      // the service's own hint; past the retry budget the client gets an
+      // `overloaded` response and owns the backoff.
+      for (int attempt = 0;; ++attempt) {
+        try {
+          service.submit(request, on_done);
+          break;
+        } catch (const OverloadedError& e) {
+          if (attempt >= max_resubmits) {
+            ++rejected;
+            emit(overloaded_response_json(request.id, e.retry_after_ms));
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  e.retry_after_ms * static_cast<double>(1 << attempt)));
+        }
+      }
     }
 
     service.wait_all();
@@ -232,6 +297,12 @@ int main(int argc, char** argv) {
     if (!parser.has_flag("quiet")) {
       print_summary(registry.snapshot(), service.cache_counters(),
                     rejected);
+    }
+    if (out_broken.load()) {
+      std::fprintf(stderr,
+                   "parabb_serve: output stream closed; drained in-flight "
+                   "jobs and stopped\n");
+      return 6;
     }
     return 0;
   } catch (const std::exception& e) {

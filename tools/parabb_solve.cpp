@@ -14,6 +14,7 @@
 //   $ parabb_solve graph.tgf --max-generated 100000
 #include <csignal>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "parabb/bnb/cancel.hpp"
@@ -21,6 +22,7 @@
 #include "parabb/bnb/parallel_engine.hpp"
 #include "parabb/bnb/search_obs.hpp"
 #include "parabb/deadline/slicing.hpp"
+#include "parabb/robust/fault.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/sched/etf.hpp"
 #include "parabb/sched/improve.hpp"
@@ -126,6 +128,8 @@ int main(int argc, char** argv) {
   parser.add_option("branch", "B&B branching rule: bfn | bf1 | df", "bfn");
   parser.add_option("lb", "lower bound: lb0 | lb1 | lb2", "lb1");
   parser.add_option("br", "inaccuracy limit BR (0 = exact)", "0");
+  parser.add_option("ub", "initial upper bound: edf | inf | <number>",
+                    "edf");
   parser.add_option("time-limit", "TIMELIMIT seconds (0 = unlimited)", "0");
   parser.add_option("max-active", "MAXSZAS (0 = unlimited)", "0");
   parser.add_option("max-generated",
@@ -157,6 +161,13 @@ int main(int argc, char** argv) {
                     "write search stats as a parabb-bench-v1 record here "
                     "(bnb algos only)",
                     "");
+  parser.add_option("inject-faults",
+                    "run under a seeded fault plan (robustness testing; "
+                    "empty = off)",
+                    "");
+  parser.add_flag("degrade",
+                  "enable the graceful-degradation ladder (effective with "
+                  "--max-memory)");
   parser.add_flag("gantt", "print an ASCII Gantt chart");
   parser.add_flag("quiet", "print only the final cost");
 
@@ -192,6 +203,7 @@ int main(int argc, char** argv) {
 
     Schedule schedule;
     Time cost = 0;
+    int exit_code = 0;  // bnb algos: exit_code_for(outcome)
     std::string status;
     const std::string algo = parser.get_string("algo");
     if (!parser.get_string("stats-json").empty() && algo != "bnb" &&
@@ -228,6 +240,12 @@ int main(int argc, char** argv) {
       params.branch = parse_branch_rule(parser.get_string("branch"));
       params.lb = parse_lower_bound(parser.get_string("lb"));
       params.br = parser.get_double("br");
+      if (const std::string ub = parser.get_string("ub"); ub == "inf") {
+        params.ub = UpperBoundInit::kInfinite;
+      } else if (ub != "edf") {
+        params.ub = UpperBoundInit::kExplicit;
+        params.explicit_ub = static_cast<Time>(std::stoll(ub));
+      }
       if (const auto ma = parser.get_int("max-active"); ma > 0)
         params.rb.max_active = static_cast<std::size_t>(ma);
 
@@ -241,6 +259,18 @@ int main(int argc, char** argv) {
       budget.max_active_bytes =
           static_cast<std::size_t>(parser.get_int("max-memory"));
       apply_budget(params, budget, &g_interrupt);
+      params.degrade.enabled = parser.has_flag("degrade");
+      std::optional<FaultInjector> injector;
+      if (const std::string fs = parser.get_string("inject-faults");
+          !fs.empty()) {
+        injector.emplace(
+            FaultPlan::random(static_cast<std::uint64_t>(std::stoull(fs))));
+        params.faults = &*injector;
+        if (!parser.has_flag("quiet")) {
+          std::fprintf(stderr, "fault plan: %s\n",
+                       injector->plan().describe().c_str());
+        }
+      }
       const std::string cert_path = parser.get_string("certify");
       CertificateBuilder builder;
       if (!cert_path.empty()) params.certify = &builder;
@@ -294,6 +324,11 @@ int main(int argc, char** argv) {
       }
 
       const JobOutcome outcome = outcome_of(reason, found);
+      // Stable exit-code taxonomy (docs/robustness.md): 0 optimal,
+      // 3 feasible_timeout, 4 cancelled, 5 infeasible; 2 stays the
+      // usage/runtime-error code. Scripts branch on the outcome without
+      // parsing output.
+      exit_code = exit_code_for(outcome);
       // Written before the found check so an infeasible or interrupted
       // run still leaves its effort record behind.
       if (const std::string sp = parser.get_string("stats-json");
@@ -303,7 +338,7 @@ int main(int argc, char** argv) {
       if (!found) {
         std::fprintf(stderr, "no solution found (outcome: %s)\n",
                      to_string(outcome).c_str());
-        return 1;
+        return exit_code;
       }
       status = describe(params) + (proved ? " [proved]" : " [heuristic]") +
                ", " + engine_info + ", outcome: " + to_string(outcome);
@@ -317,7 +352,7 @@ int main(int argc, char** argv) {
     }
     if (parser.has_flag("quiet")) {
       std::printf("%lld\n", static_cast<long long>(cost));
-      return 0;
+      return exit_code;
     }
     std::printf("algorithm: %s\nmachine:   %s\nmax task lateness: %lld\n\n",
                 status.c_str(), machine.describe().c_str(),
@@ -330,7 +365,7 @@ int main(int argc, char** argv) {
     if (parser.has_flag("gantt")) {
       std::printf("\n%s", to_gantt(schedule, graph, machine.procs).c_str());
     }
-    return 0;
+    return exit_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "parabb_solve: %s\n", e.what());
     return 2;

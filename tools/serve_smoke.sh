@@ -21,3 +21,18 @@ mkdir -p "$tmp"
 LC_ALL=C sort "$src/serve_smoke_golden.jsonl" > "$tmp/want"
 diff -u "$tmp/want" "$tmp/got"
 echo "serve smoke: $(wc -l < "$tmp/got") responses match golden"
+
+# Closed-stdout regression: a client that goes away must not kill the
+# server with SIGPIPE. Writing responses to /dev/full makes every stdout
+# flush fail; the server must drain its in-flight jobs and exit with the
+# distinct broken-stream code 6 (docs/robustness.md).
+rc=0
+"$bin" --workers 1 --quiet "$src/serve_smoke_requests.jsonl" \
+  > /dev/full 2> "$tmp/broken.err" || rc=$?
+if [ "$rc" -ne 6 ]; then
+  echo "expected exit 6 on closed stdout, got $rc" >&2
+  cat "$tmp/broken.err" >&2
+  exit 1
+fi
+grep -q "output stream closed" "$tmp/broken.err"
+echo "serve smoke: closed stdout drained with exit 6"
