@@ -57,6 +57,15 @@ class ActiveSet {
   /// disposed (== count unless the set is smaller).
   std::size_t dispose_worst(std::size_t count);
 
+  /// Read-only view of every live entry in container order (LIFO/FIFO:
+  /// insertion order; LLB: heap order — an arbitrary but complete
+  /// enumeration). The checkpoint writer (ckpt/snapshot.hpp) walks this
+  /// to serialize the frontier; re-pushing the entries in this order
+  /// reconstructs an equivalent active set.
+  const std::deque<VertexEntry>& entries() const noexcept {
+    return entries_;
+  }
+
   /// Degradation-ladder support (robust/degrade.hpp, kDF rung): switch
   /// selection to LIFO so the search degenerates into a depth-first dive
   /// that reaches leaves — and therefore incumbents — under memory

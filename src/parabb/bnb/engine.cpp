@@ -14,6 +14,8 @@
 #include "parabb/bnb/trace.hpp"
 #include "parabb/bnb/transposition.hpp"
 #include "parabb/bnb/vertex.hpp"
+#include "parabb/ckpt/checkpoint.hpp"
+#include "parabb/ckpt/snapshot.hpp"
 #include "parabb/robust/fault.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
@@ -86,20 +88,26 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   so.bind(params.observe, /*channel=*/0);
 
   // --- Step 1-2: initialize with the upper-bound solution cost U. ---
+  // A resumed run takes its incumbent from the snapshot instead: the
+  // snapshot's cost is <= whatever U would produce (the original run
+  // started from the same U), and re-deriving it here would discard
+  // incumbent improvements the interrupted run already paid for.
   Time incumbent = kTimeInf;
-  switch (params.ub) {
-    case UpperBoundInit::kInfinite:
-      break;
-    case UpperBoundInit::kFromEDF: {
-      const EdfResult edf = schedule_edf(ctx);
-      incumbent = edf.max_lateness;
-      result.best = edf.schedule;
-      result.found_solution = true;
-      break;
+  if (params.resume == nullptr) {
+    switch (params.ub) {
+      case UpperBoundInit::kInfinite:
+        break;
+      case UpperBoundInit::kFromEDF: {
+        const EdfResult edf = schedule_edf(ctx);
+        incumbent = edf.max_lateness;
+        result.best = edf.schedule;
+        result.found_solution = true;
+        break;
+      }
+      case UpperBoundInit::kExplicit:
+        incumbent = params.explicit_ub;
+        break;
     }
-    case UpperBoundInit::kExplicit:
-      incumbent = params.explicit_ub;
-      break;
   }
 
   if (params.certify) {
@@ -153,7 +161,8 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   std::uint32_t next_seq = 0;
 
   // Root vertex: the empty schedule (does not count as an activated child).
-  {
+  // A resumed run pushes the snapshot's frontier below instead.
+  if (params.resume == nullptr) {
     const SlotRef ref = pool.allocate();
     auto* v = static_cast<Vertex*>(pool.get(ref));
     v->state = PartialSchedule::empty(ctx);
@@ -187,6 +196,149 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
   staged.reserve(static_cast<std::size_t>(ctx.task_count()) *
                  static_cast<std::size_t>(ctx.proc_count()));
 
+  // --- Crash-safe checkpoint/resume (ckpt/snapshot.hpp). Both paths are
+  // gated on their Params pointer: with ckpt == resume == nullptr nothing
+  // below this comment executes and the run is byte-identical to a
+  // checkpoint-less build.
+  const std::uint64_t instance_fp =
+      (params.ckpt != nullptr || params.resume != nullptr)
+          ? instance_fingerprint(ctx, params)
+          : 0;
+  double resume_seconds = 0.0;  // wall time earlier incarnations spent
+
+  if (params.resume != nullptr) {
+    const SearchSnapshot& snap = *params.resume;
+    PARABB_REQUIRE(snap.instance == instance_fp,
+                   "resume snapshot was written for a different instance "
+                   "or parameter set");
+    // Incumbent and accumulated accounting.
+    incumbent = snap.incumbent_cost;
+    if (snap.found) {
+      result.best = Schedule::from_entries(ctx.task_count(), snap.incumbent);
+      result.found_solution = true;
+    }
+    stats = snap.stats;
+    resume_seconds = snap.stats.seconds;
+    stats.seconds = 0.0;
+    so.seed(stats);  // registry deltas cover this incarnation only
+    // Replay the degradation rungs the interrupted run had already fired,
+    // without re-counting them (stats/certificate carry them already).
+    for (int lvl = 0; lvl < snap.degrade_level && lvl < degrade_sched.count;
+         ++lvl) {
+      switch (degrade_sched.rungs[static_cast<std::size_t>(lvl)].action) {
+        case DegradeAction::kShedTT:
+          if (tt) {
+            tt.reset();
+            tt_shed = true;
+            tt_shed_counters.hits = snap.stats.tt_hits;
+            tt_shed_counters.misses = snap.stats.tt_misses;
+            tt_shed_counters.evictions = snap.stats.tt_evictions;
+            tt_shed_counters.collisions = snap.stats.tt_collisions;
+          }
+          break;
+        case DegradeAction::kTightenDB:
+          effective_max_children = std::min(
+              effective_max_children,
+              std::max(1, ctx.proc_count() *
+                              params.degrade.tightened_children_per_proc));
+          break;
+        case DegradeAction::kBF1:
+          if (branch_rule == BranchRule::kBFn) branch_rule = BranchRule::kBF1;
+          break;
+        case DegradeAction::kDF:
+          branch_rule = BranchRule::kDF;
+          effective_select = SelectRule::kLIFO;
+          as.degrade_to_lifo();
+          break;
+      }
+    }
+    degrade_level = snap.degrade_level;
+    compromised = snap.compromised;
+    compromise_floor = snap.compromise_floor;
+    // Transposition survivors: preloading only accelerates pruning; a
+    // lost entry merely re-explores a subtree, so partial restores are
+    // sound. The snapshot's counters fold in so counters() (and the
+    // final stats.tt_*) keep accumulating across restarts.
+    if (tt && snap.tt_present) {
+      tt->add_counters(snap.tt_counters);
+      for (const SnapshotTTEntry& e : snap.tt_entries)
+        tt->preload(replay_path(ctx, e.path), e.lb);
+    }
+    // Certificate continuity: the resumed builder carries every cut of
+    // every incarnation, so the final certificate audits the whole search.
+    if (params.certify && snap.cert_present) {
+      params.certify->restore_state(snap.cert_cuts, snap.cert_degrades,
+                                    snap.cert_truncated);
+    }
+    // The frontier, replayed through the scheduling operation and pushed
+    // in container order (exact reconstruction for LIFO/FIFO; a valid
+    // re-heapification for LLB).
+    for (const SnapshotVertex& sv : snap.frontier) {
+      const SlotRef ref = pool.allocate();
+      auto* v = static_cast<Vertex*>(pool.get(ref));
+      v->state = replay_path(ctx, sv.path);
+      v->lb = static_cast<Time>(sv.lb);
+      v->seq = sv.seq;
+      as.push(VertexEntry{v->lb, v->seq, ref});
+    }
+    next_seq = snap.next_seq;
+    so.checkpoint_restored(static_cast<std::int64_t>(snap.frontier.size()));
+  }
+
+  // Serializes the complete live state and writes it atomically to
+  // params.ckpt->path(). Called from the poll point; a failed write is
+  // recorded and survived (the search matters more than the snapshot).
+  const auto write_checkpoint = [&]() {
+    SearchSnapshot snap;
+    snap.instance = instance_fp;
+    snap.engine = SnapshotEngine::kSequential;
+    snap.found = result.found_solution;
+    snap.incumbent_cost = incumbent;
+    if (result.found_solution) {
+      snap.incumbent.reserve(static_cast<std::size_t>(ctx.task_count()));
+      for (TaskId t = 0; t < ctx.task_count(); ++t)
+        snap.incumbent.push_back(result.best.entry(t));
+    }
+    snap.frontier.reserve(as.size());
+    for (const VertexEntry& e : as.entries()) {
+      const auto* v = static_cast<const Vertex*>(pool.get(e.ref));
+      snap.frontier.push_back(
+          SnapshotVertex{placement_path(ctx, v->state), e.lb, e.seq});
+    }
+    snap.next_seq = next_seq;
+    snap.stats = stats;
+    snap.stats.seconds = resume_seconds + watch.seconds();
+    snap.degrade_level = degrade_level;
+    snap.compromised = compromised;
+    snap.compromise_floor = compromise_floor;
+    if (tt) {
+      snap.tt_present = true;
+      snap.tt_counters = tt->counters();
+      tt->for_each_entry([&](const PartialSchedule& s, Time lb) {
+        if (snap.tt_entries.size() < kSnapshotTTCap) {
+          snap.tt_entries.push_back(
+              SnapshotTTEntry{placement_path(ctx, s), lb});
+        }
+      });
+    }
+    if (params.certify) {
+      snap.cert_present = true;
+      params.certify->export_state(snap.cert_cuts, snap.cert_degrades,
+                                   snap.cert_truncated);
+      if (snap.cert_cuts.size() > kSnapshotCutCap) {
+        snap.cert_cuts.resize(kSnapshotCutCap);
+        snap.cert_truncated = true;
+      }
+    }
+    try {
+      const std::size_t bytes = save_snapshot(params.ckpt->path(), snap);
+      params.ckpt->note_written(bytes);
+      so.checkpoint_written(static_cast<std::int64_t>(bytes));
+    } catch (const SnapshotError&) {
+      params.ckpt->note_failed();
+    }
+  };
+
   std::uint64_t iter = 0;
   result.reason = TerminationReason::kExhausted;
 
@@ -210,6 +362,15 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
         if (params.progress) {
           params.progress->store(stats.generated, std::memory_order_relaxed);
         }
+        // Snapshot before the cancellation checks, so a SIGTERM-driven
+        // request_now() gets its state on disk before the run winds down.
+        if (params.ckpt && params.ckpt->due()) {
+          write_checkpoint();
+          if (params.ckpt->stop_requested()) {
+            result.reason = TerminationReason::kCancelled;
+            break;
+          }
+        }
         if (params.faults) {
           params.faults->at_poll(stats.generated);
           if (params.faults->cancel_requested(stats.generated)) {
@@ -221,7 +382,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
           result.reason = TerminationReason::kCancelled;
           break;
         }
-        double elapsed = watch.seconds();
+        double elapsed = resume_seconds + watch.seconds();
         if (params.faults) elapsed += params.faults->clock_skew_s(stats.generated);
         if (elapsed > params.rb.time_limit_s) {
           result.reason = TerminationReason::kTimeLimit;
@@ -599,7 +760,7 @@ SearchResult solve_bnb(const SchedContext& ctx, const Params& params) {
     stats.tt_evictions = tc.evictions + tc.rejected;
     stats.tt_collisions = tc.collisions;
   }
-  stats.seconds = watch.seconds();
+  stats.seconds = resume_seconds + watch.seconds();
   so.flush(stats);  // final deltas, incl. the tt_* fields set just above
   return result;
 }

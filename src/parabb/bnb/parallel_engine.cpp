@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -19,6 +20,8 @@
 #include "parabb/bnb/lower_bound.hpp"
 #include "parabb/bnb/search_obs.hpp"
 #include "parabb/bnb/transposition.hpp"
+#include "parabb/ckpt/checkpoint.hpp"
+#include "parabb/ckpt/snapshot.hpp"
 #include "parabb/robust/fault.hpp"
 #include "parabb/sched/edf.hpp"
 #include "parabb/support/assert.hpp"
@@ -83,6 +86,51 @@ struct Shared {
   /// Per-worker resident bytes, published at the poll cadence; the ladder
   /// compares their sum against rb.max_memory_bytes.
   std::unique_ptr<std::atomic<std::size_t>[]> worker_bytes;
+
+  // --- crash-safe checkpoint quiesce (ckpt/snapshot.hpp) ----------------
+  // The supervisor bumps `ckpt_epoch`; every worker, at its amortized poll
+  // point (or while foraging / waiting for work), copies its own deque
+  // contents plus the in-hand vertex into its dump slot, publishes a stats
+  // copy, and then *pauses* until the supervisor finishes serializing.
+  // The pause is what makes the frontier complete: once a worker has
+  // dumped, it neither consumes nor produces vertices until the release,
+  // so every vertex live at serialize time is in some dump slot (or the
+  // central queue) — a steal landing after the victim's dump merely
+  // duplicates an already-captured entry, which resume re-explores
+  // harmlessly. `ckpt_alive` counts workers that have not exited, so a
+  // worker leaving mid-quiesce (search exhausted or stopped) cannot hang
+  // the supervisor; its slot keeps the previous epoch tag and is skipped.
+  // With params.ckpt == nullptr none of this state is touched.
+  struct CkptDump {
+    std::uint64_t epoch = 0;  ///< epoch this slot was written for
+    std::vector<WorkItem> items;
+    SearchStats stats;
+  };
+  std::atomic<std::uint64_t> ckpt_epoch{0};
+  std::atomic<std::uint64_t> ckpt_released{0};
+  std::atomic<int> ckpt_arrived{0};
+  std::atomic<int> ckpt_alive{0};
+  std::vector<CkptDump> ckpt_dumps;
+
+  /// Blocks the calling worker until the supervisor releases `epoch` (or
+  /// the search stops). Callers must hold no locks.
+  void ckpt_pause(std::uint64_t epoch) {
+    while (ckpt_released.load(std::memory_order_acquire) < epoch &&
+           !stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  /// Worker-side arrival: publishes this worker's dump slot (items were
+  /// already filled by the caller), joins the barrier, and sits out the
+  /// serialize. At most once per epoch per worker.
+  void ckpt_arrive_and_pause(std::size_t self, std::uint64_t epoch,
+                             const SearchStats& worker_stats) {
+    ckpt_dumps[self].stats = worker_stats;
+    ckpt_dumps[self].epoch = epoch;
+    ckpt_arrived.fetch_add(1, std::memory_order_release);
+    ckpt_pause(epoch);
+  }
 
   Shared(const SchedContext& c, const Params& p) : ctx(c), params(p) {
     if (p.transposition.enabled) {
@@ -378,6 +426,15 @@ void worker_loop(Shared& sh, const std::size_t self, SearchStats& stats,
   std::vector<WorkItem> local;
   IncrementalLB inc(sh.ctx);  // private scratch: no shared mutable state
   std::uint64_t iter = 0;
+  std::uint64_t ckpt_seen = 0;  // last checkpoint epoch this worker joined
+  const auto leave = [&] {
+    sh.done = true;
+    sh.queue_cv.notify_all();
+    if (sh.params.ckpt != nullptr) {
+      sh.ckpt_alive.fetch_sub(1, std::memory_order_relaxed);
+    }
+    so.flush(stats);
+  };
   for (;;) {
     {
       std::unique_lock lock(sh.queue_mutex);
@@ -385,19 +442,37 @@ void worker_loop(Shared& sh, const std::size_t self, SearchStats& stats,
       PARABB_ASSERT(sh.idle <= sh.total_threads);
       if ((sh.idle == sh.total_threads && sh.queue.empty()) ||
           sh.stop.load()) {
-        sh.done = true;
-        sh.queue_cv.notify_all();
-        so.flush(stats);
+        leave();
         return;
       }
-      sh.queue_cv.wait(lock, [&] {
-        return sh.done || sh.stop.load() || !sh.queue.empty();
-      });
-      if (sh.done || sh.stop.load()) {
-        sh.done = true;
-        sh.queue_cv.notify_all();
-        so.flush(stats);
-        return;
+      for (;;) {
+        sh.queue_cv.wait(lock, [&] {
+          return sh.done || sh.stop.load() || !sh.queue.empty() ||
+                 (sh.params.ckpt != nullptr &&
+                  sh.ckpt_epoch.load(std::memory_order_acquire) !=
+                      ckpt_seen);
+        });
+        if (sh.done || sh.stop.load()) {
+          leave();
+          return;
+        }
+        if (sh.params.ckpt != nullptr) {
+          const std::uint64_t e =
+              sh.ckpt_epoch.load(std::memory_order_acquire);
+          if (e != ckpt_seen) {
+            // Out of work: dump an empty slot, then sit out the serialize
+            // outside the lock (the supervisor needs queue_mutex for the
+            // shared queue). `idle` stays incremented, which is exactly
+            // the waiting state this worker is still in.
+            ckpt_seen = e;
+            sh.ckpt_dumps[self].items.clear();
+            lock.unlock();
+            sh.ckpt_arrive_and_pause(self, e, stats);
+            lock.lock();
+            continue;
+          }
+        }
+        if (!sh.queue.empty()) break;
       }
       --sh.idle;
       local.push_back(std::move(sh.queue.front()));
@@ -453,6 +528,17 @@ void worker_loop(Shared& sh, const std::size_t self, SearchStats& stats,
         sh.maybe_degrade(self, local.capacity() * sizeof(WorkItem), stats,
                          so);
         so.flush(stats);
+        if (sh.params.ckpt != nullptr) {
+          const std::uint64_t e =
+              sh.ckpt_epoch.load(std::memory_order_acquire);
+          if (e != ckpt_seen) {
+            // The just-expanded vertex's survivors are all on `local`, so
+            // the private stack IS this worker's live frontier.
+            ckpt_seen = e;
+            sh.ckpt_dumps[self].items.assign(local.begin(), local.end());
+            sh.ckpt_arrive_and_pause(self, e, stats);
+          }
+        }
       }
 
       // Donate the shallowest half when the queue is dry and peers starve.
@@ -578,16 +664,43 @@ void ws_worker_loop(Shared& sh, WsControl& ctl, const std::size_t self,
   std::minstd_rand rng(static_cast<std::minstd_rand::result_type>(
       self * 2654435761u + 1));
   std::uint64_t iter = 0;
+  std::uint64_t ckpt_seen = 0;  // last checkpoint epoch this worker joined
 
   const auto pop_own = [&]() -> WsNode* {
     WsNode* n = nullptr;
     return mine.pop_bottom(n) ? n : nullptr;
   };
   const auto finish = [&] {
+    if (sh.params.ckpt != nullptr) {
+      sh.ckpt_alive.fetch_sub(1, std::memory_order_relaxed);
+    }
     stats.peak_memory_bytes = std::max(
         stats.peak_memory_bytes, slab.memory_bytes() + mine.memory_bytes());
     so.deque_depth(0);
     so.flush(stats);
+  };
+  /// Checkpoint barrier (Shared::CkptDump): copy the in-hand vertex plus
+  /// the owned deque into this worker's dump slot — pop-all / push-back
+  /// restores the deque order; a concurrent thief may shrink what we see,
+  /// in which case the items travel in the thief's dump instead — then
+  /// arrive and pause until the supervisor has serialized.
+  const auto ckpt_join = [&](std::uint64_t epoch, WsNode* in_hand) {
+    ckpt_seen = epoch;
+    std::vector<WorkItem>& out = sh.ckpt_dumps[self].items;
+    out.clear();
+    if (in_hand != nullptr) {
+      out.push_back(WorkItem{in_hand->state, in_hand->lb});
+    }
+    loot.clear();
+    for (WsNode* n = pop_own(); n != nullptr; n = pop_own()) {
+      loot.push_back(n);
+      out.push_back(WorkItem{n->state, n->lb});
+    }
+    for (auto it = loot.rbegin(); it != loot.rend(); ++it) {
+      mine.push_bottom(*it);
+    }
+    loot.clear();
+    sh.ckpt_arrive_and_pause(self, epoch, stats);
   };
 
   WsNode* cur = pop_own();
@@ -688,6 +801,11 @@ void ws_worker_loop(Shared& sh, WsControl& ctl, const std::size_t self,
         sh.maybe_degrade(self, slab.memory_bytes() + mine.memory_bytes(),
                          stats, so);
         so.flush(stats);
+        if (sh.params.ckpt != nullptr) {
+          const std::uint64_t e =
+              sh.ckpt_epoch.load(std::memory_order_acquire);
+          if (e != ckpt_seen) ckpt_join(e, cur);
+        }
       }
       if (cur == nullptr) cur = pop_own();
     }
@@ -700,6 +818,14 @@ void ws_worker_loop(Shared& sh, WsControl& ctl, const std::size_t self,
           ctl.done.load(std::memory_order_acquire)) {
         finish();
         return;  // exits counted idle; caller asserts idle == threads
+      }
+      if (sh.params.ckpt != nullptr) {
+        const std::uint64_t e =
+            sh.ckpt_epoch.load(std::memory_order_acquire);
+        if (e != ckpt_seen) {
+          ckpt_join(e, nullptr);  // foraging: empty-handed, deque drained
+          continue;
+        }
       }
       // Glance: is any work visible? A mere look needs no idle bookkeeping.
       bool saw_work = false;
@@ -799,36 +925,133 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
   sh.total_threads = threads;
   sh.init_ladder(threads);
 
+  // --- Crash-safe checkpoint/resume (ckpt/snapshot.hpp). Both paths are
+  // gated on their Params pointer: with ckpt == resume == nullptr nothing
+  // below touches the quiesce state and the run is byte-identical to a
+  // checkpoint-less build.
+  const std::uint64_t instance_fp =
+      (pp.base.ckpt != nullptr || pp.base.resume != nullptr)
+          ? instance_fingerprint(ctx, pp.base)
+          : 0;
+  SearchStats resume_base;      // accounting carried over from the snapshot
+  double resume_seconds = 0.0;  // wall time earlier incarnations spent
+  if (pp.base.ckpt != nullptr) {
+    sh.ckpt_dumps.resize(static_cast<std::size_t>(threads));
+    sh.ckpt_alive.store(threads, std::memory_order_relaxed);
+  }
+
   if (pp.base.certify) {
     pp.base.certify->begin(ctx, static_cast<int>(pp.base.lb),
                            pp.base.branch == BranchRule::kBFn, pp.base.br,
                            describe(pp.base));
   }
 
-  // Initial upper bound U.
+  // Initial upper bound U (a resumed run restores the snapshot's
+  // incumbent below instead).
   Schedule initial_best;
-  switch (pp.base.ub) {
-    case UpperBoundInit::kInfinite:
-      break;
-    case UpperBoundInit::kFromEDF: {
-      const EdfResult edf = schedule_edf(ctx);
-      sh.incumbent.store(edf.max_lateness);
-      initial_best = edf.schedule;
-      result.found_solution = true;
-      break;
+  if (pp.base.resume == nullptr) {
+    switch (pp.base.ub) {
+      case UpperBoundInit::kInfinite:
+        break;
+      case UpperBoundInit::kFromEDF: {
+        const EdfResult edf = schedule_edf(ctx);
+        sh.incumbent.store(edf.max_lateness);
+        initial_best = edf.schedule;
+        result.found_solution = true;
+        break;
+      }
+      case UpperBoundInit::kExplicit:
+        sh.incumbent.store(pp.base.explicit_ub);
+        break;
     }
-    case UpperBoundInit::kExplicit:
-      sh.incumbent.store(pp.base.explicit_ub);
-      break;
   }
 
   // Seeding: breadth-first expansion until one frontier item per worker.
   // Flight channel 0 belongs to this phase; workers use channels 1..N.
+  // A resumed run skips the expansion and seeds the pool with the
+  // snapshot's frontier verbatim.
   SearchStats seed_stats;
   SearchObs seed_so;
   seed_so.bind(pp.base.observe, /*channel=*/0);
   std::deque<WorkItem> seeds;
-  {
+  if (pp.base.resume != nullptr) {
+    const SearchSnapshot& snap = *pp.base.resume;
+    PARABB_REQUIRE(snap.instance == instance_fp,
+                   "resume snapshot was written for a different instance "
+                   "or parameter set");
+    // Incumbent and accumulated accounting.
+    sh.incumbent.store(snap.incumbent_cost);
+    if (snap.found) {
+      initial_best = Schedule::from_entries(ctx.task_count(), snap.incumbent);
+      result.found_solution = true;
+    }
+    resume_base = snap.stats;
+    resume_seconds = snap.stats.seconds;
+    resume_base.seconds = 0.0;
+    // The generated budget keeps counting across restarts, and fault
+    // injection points stay aligned with the uninterrupted run.
+    sh.generated.store(snap.stats.generated);
+    // Replay the degradation rungs the interrupted run had already fired,
+    // without re-counting them (stats/certificate carry them already).
+    if (sh.ladder_on) {
+      const int replay =
+          std::min(snap.degrade_level, sh.degrade_sched.count);
+      for (int lvl = 0; lvl < replay; ++lvl) {
+        switch (sh.degrade_sched.rungs[static_cast<std::size_t>(lvl)]
+                    .action) {
+          case DegradeAction::kShedTT:
+            sh.tt_live.store(nullptr, std::memory_order_relaxed);
+            if (sh.tt) sh.tt->clear();
+            break;
+          case DegradeAction::kTightenDB:
+            sh.effective_children.store(
+                std::max(1, ctx.proc_count() *
+                                pp.base.degrade.tightened_children_per_proc),
+                std::memory_order_relaxed);
+            sh.degraded_incomplete.store(true, std::memory_order_relaxed);
+            break;
+          case DegradeAction::kBF1: {
+            BranchRule expected = BranchRule::kBFn;
+            sh.effective_branch.compare_exchange_strong(
+                expected, BranchRule::kBF1, std::memory_order_relaxed);
+            sh.degraded_incomplete.store(true, std::memory_order_relaxed);
+            break;
+          }
+          case DegradeAction::kDF:
+            sh.effective_branch.store(BranchRule::kDF,
+                                      std::memory_order_relaxed);
+            sh.degraded_incomplete.store(true, std::memory_order_relaxed);
+            break;
+        }
+      }
+      sh.degrade_level.store(replay, std::memory_order_relaxed);
+    }
+    if (snap.compromised) {
+      sh.degraded_incomplete.store(true, std::memory_order_relaxed);
+    }
+    // Transposition survivors: preloading only accelerates pruning; a
+    // lost entry merely re-explores a subtree, so partial restores are
+    // sound. The snapshot's counters fold in so counters() (and the
+    // final stats.tt_*) keep accumulating across restarts.
+    if (TranspositionTable* const t = sh.table();
+        t != nullptr && snap.tt_present) {
+      t->add_counters(snap.tt_counters);
+      for (const SnapshotTTEntry& e : snap.tt_entries)
+        t->preload(replay_path(ctx, e.path), e.lb);
+    }
+    // Certificate continuity: the resumed builder carries every cut of
+    // every incarnation, so the final certificate audits the whole search.
+    if (pp.base.certify && snap.cert_present) {
+      pp.base.certify->restore_state(snap.cert_cuts, snap.cert_degrades,
+                                     snap.cert_truncated);
+    }
+    for (const SnapshotVertex& sv : snap.frontier) {
+      seeds.push_back(
+          WorkItem{replay_path(ctx, sv.path), static_cast<Time>(sv.lb)});
+    }
+    seed_so.checkpoint_restored(
+        static_cast<std::int64_t>(snap.frontier.size()));
+  } else {
     IncrementalLB seed_inc(ctx);
     WorkItem root;
     root.state = PartialSchedule::empty(ctx);
@@ -883,6 +1106,119 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     const double limit = pp.base.rb.time_limit_s;
+    const bool supervise =
+        std::isfinite(limit) || pp.base.ckpt != nullptr;
+
+    // Serializes the quiesced state and writes it atomically to
+    // params.ckpt->path(). Runs with every live worker arrived-and-paused,
+    // so the dump slots (and, for the central queue, sh.queue) together
+    // hold the complete frontier. A failed write is recorded and survived.
+    const auto ckpt_serialize = [&](bool central_queue) {
+      SearchSnapshot snap;
+      snap.instance = instance_fp;
+      snap.engine = SnapshotEngine::kParallel;
+      {
+        const std::lock_guard lock(sh.best_mutex);
+        snap.incumbent_cost = sh.incumbent.load(std::memory_order_relaxed);
+        if (sh.found) {
+          const Schedule best = Schedule::from_partial(ctx, sh.best_state);
+          snap.found = true;
+          for (TaskId t = 0; t < ctx.task_count(); ++t)
+            snap.incumbent.push_back(best.entry(t));
+        } else if (result.found_solution) {
+          snap.found = true;  // the EDF (or resumed) seed still stands
+          for (TaskId t = 0; t < ctx.task_count(); ++t)
+            snap.incumbent.push_back(initial_best.entry(t));
+        }
+      }
+      const std::uint64_t epoch =
+          sh.ckpt_epoch.load(std::memory_order_relaxed);
+      SearchStats agg = resume_base;
+      merge_search_stats(agg, seed_stats);
+      std::uint32_t seq = 0;
+      for (const Shared::CkptDump& d : sh.ckpt_dumps) {
+        if (d.epoch != epoch) continue;  // worker exited before this epoch
+        merge_search_stats(agg, d.stats);
+        for (const WorkItem& w : d.items) {
+          snap.frontier.push_back(
+              SnapshotVertex{placement_path(ctx, w.state), w.lb, seq++});
+        }
+      }
+      if (central_queue) {
+        const std::lock_guard lock(sh.queue_mutex);
+        for (const WorkItem& w : sh.queue) {
+          snap.frontier.push_back(
+              SnapshotVertex{placement_path(ctx, w.state), w.lb, seq++});
+        }
+      }
+      snap.next_seq = seq;
+      if (TranspositionTable* const t = sh.table(); t != nullptr) {
+        snap.tt_present = true;
+        snap.tt_counters = t->counters();
+        agg.tt_hits = snap.tt_counters.hits;
+        agg.tt_misses = snap.tt_counters.misses;
+        agg.tt_evictions =
+            snap.tt_counters.evictions + snap.tt_counters.rejected;
+        agg.tt_collisions = snap.tt_counters.collisions;
+        t->for_each_entry([&](const PartialSchedule& s, Time lb) {
+          if (snap.tt_entries.size() < kSnapshotTTCap) {
+            snap.tt_entries.push_back(
+                SnapshotTTEntry{placement_path(ctx, s), lb});
+          }
+        });
+      }
+      agg.seconds = resume_seconds + watch.seconds();
+      snap.stats = agg;
+      snap.degrade_level = sh.degrade_level.load(std::memory_order_relaxed);
+      snap.compromised =
+          sh.degraded_incomplete.load(std::memory_order_relaxed);
+      snap.compromise_floor = snap.compromised ? kTimeNegInf : kTimeInf;
+      if (pp.base.certify) {
+        snap.cert_present = true;
+        pp.base.certify->export_state(snap.cert_cuts, snap.cert_degrades,
+                                      snap.cert_truncated);
+        if (snap.cert_cuts.size() > kSnapshotCutCap) {
+          snap.cert_cuts.resize(kSnapshotCutCap);
+          snap.cert_truncated = true;
+        }
+      }
+      try {
+        const std::size_t bytes =
+            save_snapshot(pp.base.ckpt->path(), snap);
+        pp.base.ckpt->note_written(bytes);
+        seed_so.checkpoint_written(static_cast<std::int64_t>(bytes));
+      } catch (const SnapshotError&) {
+        pp.base.ckpt->note_failed();
+      }
+    };
+
+    // Quiesce barrier: bump the epoch (under queue_mutex, so a central
+    // worker checking its wait predicate cannot miss the wakeup), wait for
+    // every live worker to dump and pause, serialize, release. Aborts —
+    // without writing — if the search ends mid-quiesce; the final result
+    // supersedes any snapshot.
+    const auto ckpt_quiesce = [&](const std::function<bool()>& search_done,
+                                  bool central_queue) {
+      const std::uint64_t epoch =
+          sh.ckpt_epoch.load(std::memory_order_relaxed) + 1;
+      sh.ckpt_arrived.store(0, std::memory_order_relaxed);
+      {
+        const std::lock_guard lock(sh.queue_mutex);
+        sh.ckpt_epoch.store(epoch, std::memory_order_release);
+      }
+      sh.queue_cv.notify_all();
+      bool complete = true;
+      while (sh.ckpt_arrived.load(std::memory_order_acquire) <
+             sh.ckpt_alive.load(std::memory_order_relaxed)) {
+        if (search_done() || sh.stop.load(std::memory_order_relaxed)) {
+          complete = false;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      if (complete) ckpt_serialize(central_queue);
+      sh.ckpt_released.store(epoch, std::memory_order_release);
+    };
 
     if (ws) {
       WsControl ctl(threads, pp.steal_batch);
@@ -913,11 +1249,12 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
                          per_obs[static_cast<std::size_t>(i)]);
         });
       }
-      // Time-limit supervisor (main thread); cancellation and the
-      // generated budget are polled by the workers (Shared::should_stop).
-      if (std::isfinite(limit)) {
+      // Time-limit / checkpoint supervisor (main thread); cancellation and
+      // the generated budget are polled by the workers
+      // (Shared::should_stop).
+      if (supervise) {
         while (!ctl.done.load() && !sh.stop.load()) {
-          double elapsed = watch.seconds();
+          double elapsed = resume_seconds + watch.seconds();
           if (pp.base.faults) {
             elapsed += pp.base.faults->clock_skew_s(
                 sh.generated.load(std::memory_order_relaxed));
@@ -925,6 +1262,16 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
           if (elapsed >= limit) {
             sh.request_stop(TerminationReason::kTimeLimit);
             break;
+          }
+          if (pp.base.ckpt != nullptr && pp.base.ckpt->due()) {
+            ckpt_quiesce([&] { return ctl.done.load(); },
+                         /*central_queue=*/false);
+            // A SIGTERM-driven request_now(stop_after) winds the search
+            // down only after its state reached the disk.
+            if (pp.base.ckpt->stop_requested()) {
+              sh.request_stop(TerminationReason::kCancelled);
+              break;
+            }
           }
           std::this_thread::sleep_for(std::chrono::milliseconds(2));
         }
@@ -951,13 +1298,14 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
                       per_obs[static_cast<std::size_t>(i)]);
         });
       }
-      if (std::isfinite(limit)) {
+      if (supervise) {
+        const auto central_done = [&] {
+          const std::lock_guard lock(sh.queue_mutex);
+          return sh.done;
+        };
         for (;;) {
-          {
-            const std::lock_guard lock(sh.queue_mutex);
-            if (sh.done) break;
-          }
-          double elapsed = watch.seconds();
+          if (central_done()) break;
+          double elapsed = resume_seconds + watch.seconds();
           if (pp.base.faults) {
             elapsed += pp.base.faults->clock_skew_s(
                 sh.generated.load(std::memory_order_relaxed));
@@ -965,6 +1313,13 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
           if (elapsed >= limit) {
             sh.request_stop(TerminationReason::kTimeLimit);
             break;
+          }
+          if (pp.base.ckpt != nullptr && pp.base.ckpt->due()) {
+            ckpt_quiesce(central_done, /*central_queue=*/true);
+            if (pp.base.ckpt->stop_requested()) {
+              sh.request_stop(TerminationReason::kCancelled);
+              break;
+            }
           }
           std::this_thread::sleep_for(std::chrono::milliseconds(2));
         }
@@ -980,6 +1335,10 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     }
   }
   merge_search_stats(result.stats, seed_stats);
+  // Accounting carried over from a resumed snapshot (zero otherwise); the
+  // tt_* fields are overwritten from the shared table's absolute counters
+  // below, which already fold the snapshot's in (add_counters).
+  merge_search_stats(result.stats, resume_base);
   // Work left behind by an early stop — seeds never handed to a worker
   // pool (central queue) or vertices abandoned in deques (work stealing) —
   // was disposed of, the same way worker-local leftovers are counted
@@ -1014,13 +1373,25 @@ ParallelResult solve_bnb_parallel(const SchedContext& ctx,
     result.stats.tt_evictions = tc.evictions + tc.rejected;
     result.stats.tt_collisions = tc.collisions;
   }
-  result.stats.seconds = watch.seconds();
+  result.stats.seconds = resume_seconds + watch.seconds();
   // Workers and the seed phase flushed their own counters; publish the
   // remainder that only exists post-merge (leftovers disposed by an early
   // stop, shared-table totals).
   if (pp.base.observe) {
     SearchObs fin;
     fin.bind(pp.base.observe, /*channel=*/0, /*with_flight=*/false);
+    // A resumed run's table totals include the snapshot's folded-in base;
+    // seed the baseline so the registry only receives this incarnation's
+    // delta (the base was published by the run that earned it).
+    if (pp.base.resume != nullptr && pp.base.resume->tt_present &&
+        sh.table() != nullptr) {
+      SearchStats base;
+      base.tt_hits = pp.base.resume->stats.tt_hits;
+      base.tt_misses = pp.base.resume->stats.tt_misses;
+      base.tt_evictions = pp.base.resume->stats.tt_evictions;
+      base.tt_collisions = pp.base.resume->stats.tt_collisions;
+      fin.seed(base);
+    }
     SearchStats rem;
     rem.disposed = queue_disposed;
     rem.tt_hits = result.stats.tt_hits;

@@ -17,11 +17,13 @@
 
 namespace parabb {
 
-class SearchTrace;         // bnb/trace.hpp
-class CancelToken;         // bnb/cancel.hpp
-class CertificateBuilder;  // verify/certificate.hpp
-class FaultInjector;       // robust/fault.hpp
-struct Observation;        // obs/observe.hpp
+class SearchTrace;           // bnb/trace.hpp
+class CancelToken;           // bnb/cancel.hpp
+class CertificateBuilder;    // verify/certificate.hpp
+class FaultInjector;         // robust/fault.hpp
+struct Observation;          // obs/observe.hpp
+class CheckpointController;  // ckpt/checkpoint.hpp
+struct SearchSnapshot;       // ckpt/snapshot.hpp
 
 /// S — vertex selection rule (§3.2).
 enum class SelectRule : std::uint8_t {
@@ -176,6 +178,26 @@ struct Params {
   /// surface as ordinary termination reasons (kBudget / kCancelled /
   /// kTimeLimit) — never a crash or an undefined result.
   FaultInjector* faults = nullptr;
+
+  /// Optional crash-safe checkpointing (ckpt/checkpoint.hpp); not owned,
+  /// may be null — the off path is this null check and nothing else, so
+  /// runs without a controller are byte-identical to pre-checkpoint
+  /// builds. When set, both engines write an atomic versioned snapshot of
+  /// the live search (ckpt/snapshot.hpp) to ckpt->path() whenever
+  /// ckpt->due() — every interval_ms at the amortized poll points, or
+  /// immediately on request_now() (the SIGTERM hook). Checkpointing is
+  /// read-beside: it never changes the search trajectory.
+  CheckpointController* ckpt = nullptr;
+
+  /// Optional snapshot to resume from (ckpt/snapshot.hpp); not owned, may
+  /// be null. When set, the engines seed the incumbent, frontier,
+  /// transposition table, degradation rung, certificate cuts, and stats
+  /// from the snapshot instead of starting at the root; the snapshot must
+  /// satisfy snapshot_matches(*resume, ctx, params) (PARABB_REQUIREd).
+  /// resume(checkpoint(t)) reaches the same optimal lateness — and a
+  /// CERTIFIED certificate — as the uninterrupted run, because every
+  /// vertex live at snapshot time is rooted in a stored frontier entry.
+  const SearchSnapshot* resume = nullptr;
 
   /// Optional progress heartbeat; not owned, may be null. Both engines
   /// store stats.generated into it at their poll cadence so an external

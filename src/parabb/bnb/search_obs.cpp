@@ -62,6 +62,9 @@ void SearchObs::bind(const Observation* obs, std::size_t channel,
     }
     peak_active_ = obs->metrics->gauge("parabb_search_peak_active");
     peak_memory_ = obs->metrics->gauge("parabb_search_peak_memory_bytes");
+    ckpt_writes_ = obs->metrics->counter("parabb_ckpt_writes_total");
+    ckpt_bytes_ = obs->metrics->counter("parabb_ckpt_bytes_total");
+    ckpt_restores_ = obs->metrics->counter("parabb_ckpt_restores_total");
     metrics_ = true;
   }
   if (with_flight && obs->recorder) {
@@ -77,6 +80,23 @@ void SearchObs::bind_deque_depth(const Observation* obs, std::size_t worker) {
 
 void SearchObs::deque_depth(std::int64_t depth) noexcept {
   if (deque_depth_) deque_depth_->set(depth);
+}
+
+void SearchObs::checkpoint_written(std::int64_t bytes) noexcept {
+  if (ckpt_writes_) {
+    ckpt_writes_->add(1);
+    ckpt_bytes_->add(static_cast<std::uint64_t>(bytes));
+  }
+  if (flight_)
+    flight_->record(FlightEventKind::kCheckpoint, FlightPruneRule::kNone, 0,
+                    bytes);
+}
+
+void SearchObs::checkpoint_restored(std::int64_t frontier) noexcept {
+  if (ckpt_restores_) ckpt_restores_->add(1);
+  if (flight_)
+    flight_->record(FlightEventKind::kCheckpoint, FlightPruneRule::kNone, 1,
+                    frontier);
 }
 
 void SearchObs::flush(const SearchStats& cur) {

@@ -76,6 +76,12 @@ class SearchObs {
   /// (after tt_* and peaks are final).
   void flush(const SearchStats& cur);
 
+  /// Resume support (ckpt/snapshot.hpp): marks `base` as already
+  /// published, so a run seeded from a snapshot flushes only the work of
+  /// this process into the registry — the snapshot's counters belong to
+  /// the incarnation that earned them.
+  void seed(const SearchStats& base) { last_ = base; }
+
   // --- flight events (inline; no-ops while unbound) ---
   void expand(int level, std::int64_t lb) noexcept {
     if (flight_)
@@ -119,6 +125,13 @@ class SearchObs {
   /// Publishes the current work-stealing deque depth (flush cadence).
   void deque_depth(std::int64_t depth) noexcept;
 
+  /// Snapshot written: bumps parabb_ckpt_writes_total /
+  /// parabb_ckpt_bytes_total and records a kCheckpoint flight event.
+  void checkpoint_written(std::int64_t bytes) noexcept;
+  /// Snapshot restored at startup: bumps parabb_ckpt_restores_total and
+  /// records a kCheckpoint event with level 1 and the frontier size.
+  void checkpoint_restored(std::int64_t frontier) noexcept;
+
  private:
   static std::int16_t clamp_level(int level) noexcept {
     if (level > INT16_MAX) return INT16_MAX;
@@ -132,6 +145,9 @@ class SearchObs {
   Gauge* peak_active_ = nullptr;
   Gauge* peak_memory_ = nullptr;
   Gauge* deque_depth_ = nullptr;
+  Counter* ckpt_writes_ = nullptr;
+  Counter* ckpt_bytes_ = nullptr;
+  Counter* ckpt_restores_ = nullptr;
   SearchStats last_;
 };
 

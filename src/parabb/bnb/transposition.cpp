@@ -166,6 +166,63 @@ std::size_t TranspositionTable::memory_bytes() const noexcept {
   return capacity() * kBytesPerSlot;
 }
 
+void TranspositionTable::for_each_entry(
+    const std::function<void(const PartialSchedule&, Time)>& fn) const {
+  for (int s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    const std::lock_guard lock(shard.mutex);
+    for (std::size_t i = 0; i < slots_per_shard_; ++i)
+      if (shard.fps[i] != 0) fn(shard.states[i], shard.lbs[i]);
+  }
+}
+
+void TranspositionTable::preload(const PartialSchedule& state, Time lb) {
+  const std::uint64_t fp = desentinel(state.fingerprint());
+  Shard& shard = shard_for(fp);
+  const std::lock_guard lock(shard.mutex);
+  const std::size_t slot_mask = slots_per_shard_ - 1;
+  const std::size_t base =
+      (static_cast<std::size_t>(fp >> 10) & slot_mask) & ~(kProbeWindow - 1);
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t free_slot = kNone;
+  std::size_t worst = kNone;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const std::size_t idx = base + i;
+    const std::uint64_t slot_fp = shard.fps[idx];
+    if (slot_fp == 0) {
+      if (free_slot == kNone) free_slot = idx;
+      continue;
+    }
+    if (slot_fp == fp && shard.states[idx] == state) {
+      if (lb < shard.lbs[idx]) shard.lbs[idx] = lb;
+      return;
+    }
+    if (worst == kNone || shard.lbs[idx] > shard.lbs[worst]) worst = idx;
+  }
+  if (free_slot != kNone) {
+    shard.fps[free_slot] = fp;
+    shard.lbs[free_slot] = lb;
+    shard.states[free_slot] = state;
+    ++shard.used_count;
+  } else if (worst != kNone && lb < shard.lbs[worst]) {
+    shard.fps[worst] = fp;
+    shard.lbs[worst] = lb;
+    shard.states[worst] = state;
+  }
+}
+
+void TranspositionTable::add_counters(const TranspositionCounters& prior) {
+  Shard& shard = shards_[0];
+  const std::lock_guard lock(shard.mutex);
+  shard.counters.probes += prior.probes;
+  shard.counters.hits += prior.hits;
+  shard.counters.misses += prior.misses;
+  shard.counters.inserts += prior.inserts;
+  shard.counters.evictions += prior.evictions;
+  shard.counters.rejected += prior.rejected;
+  shard.counters.collisions += prior.collisions;
+}
+
 void TranspositionTable::clear() {
   for (int s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[static_cast<std::size_t>(s)];

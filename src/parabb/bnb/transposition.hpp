@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <type_traits>
@@ -95,6 +96,22 @@ class TranspositionTable {
 
   /// Drops every entry (counters keep accumulating).
   void clear();
+
+  /// Checkpoint export (ckpt/snapshot.hpp): visits every live entry, one
+  /// shard at a time under that shard's lock. Entries inserted or evicted
+  /// by concurrent workers may be seen or missed — any subset is a sound
+  /// snapshot, because the table only ever accelerates pruning.
+  void for_each_entry(
+      const std::function<void(const PartialSchedule&, Time)>& fn) const;
+
+  /// Checkpoint restore: re-inserts a snapshot survivor (insert-if-absent,
+  /// replace-if-better) without touching the event counters, so a resumed
+  /// run's statistics reflect search work, not the restore.
+  void preload(const PartialSchedule& state, Time lb);
+
+  /// Folds the counters a snapshot carried into this table, so counters()
+  /// keeps accumulating across process restarts.
+  void add_counters(const TranspositionCounters& prior);
 
  private:
   struct Shard;

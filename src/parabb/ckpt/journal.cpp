@@ -1,0 +1,143 @@
+#include "parabb/ckpt/journal.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "parabb/support/hash.hpp"
+#include "parabb/support/json.hpp"
+
+namespace parabb {
+
+namespace {
+
+std::string journal_file(const std::string& dir) {
+  return dir + "/journal.log";
+}
+
+}  // namespace
+
+JobJournal::JobJournal(const std::string& dir) : dir_(dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    throw std::runtime_error("parabb journal: cannot create " + dir + ": " +
+                             std::strerror(errno));
+  file_ = std::fopen(journal_file(dir).c_str(), "ab");
+  if (file_ == nullptr)
+    throw std::runtime_error("parabb journal: cannot open " +
+                             journal_file(dir) + ": " +
+                             std::strerror(errno));
+}
+
+JobJournal::~JobJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JobJournal::append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0)
+    throw std::runtime_error("parabb journal: write failed: " +
+                             std::string(std::strerror(errno)));
+  // Durable before visible: the caller only acts on the job (submits it,
+  // answers the client) after the record survives a crash.
+  ::fsync(::fileno(file_));
+}
+
+void JobJournal::record_accept(const std::string& id,
+                               const std::string& request_json) {
+  append("{\"t\":\"accept\",\"id\":" + JsonValue(id).dump() +
+         ",\"req\":" + request_json + "}");
+}
+
+void JobJournal::record_complete(const std::string& id,
+                                 const std::string& response_json) {
+  append("{\"t\":\"complete\",\"id\":" + JsonValue(id).dump() +
+         ",\"resp\":" + response_json + "}");
+}
+
+void JobJournal::record_cancel(const std::string& id) {
+  append("{\"t\":\"cancel\",\"id\":" + JsonValue(id).dump() + "}");
+}
+
+std::string JobJournal::job_checkpoint_path(const std::string& id) const {
+  // File name from a digest, not the raw id (ids are client-chosen and may
+  // hold path separators).
+  std::uint64_t h = 0x4A4F424Aull;  // "JOBJ"
+  for (const char c : id) h = mix64(h ^ static_cast<unsigned char>(c));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return dir_ + "/job-" + buf + ".ckpt";
+}
+
+JobJournal::Replay JobJournal::replay(const std::string& dir) {
+  Replay out;
+  std::ifstream in(journal_file(dir));
+  if (!in.is_open()) return out;
+  // id -> index into out.pending (still-live accepts only).
+  std::map<std::string, std::size_t> live;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue rec;
+    try {
+      rec = JsonValue::parse(line);
+    } catch (const std::exception&) {
+      ++out.malformed;  // torn tail write: the record never took effect
+      continue;
+    }
+    const JsonValue* t = rec.find("t");
+    const JsonValue* id = rec.find("id");
+    if (t == nullptr || !t->is_string() || id == nullptr ||
+        !id->is_string()) {
+      ++out.malformed;
+      continue;
+    }
+    const std::string& kind = t->as_string();
+    const std::string& job = id->as_string();
+    if (kind == "accept") {
+      const JsonValue* req = rec.find("req");
+      if (req == nullptr) {
+        ++out.malformed;
+        continue;
+      }
+      if (out.completed.count(job) != 0 || live.count(job) != 0)
+        continue;  // duplicate accept: first one wins
+      live[job] = out.pending.size();
+      out.pending.push_back(PendingJob{job, req->dump()});
+    } else if (kind == "complete") {
+      const JsonValue* resp = rec.find("resp");
+      if (resp == nullptr) {
+        ++out.malformed;
+        continue;
+      }
+      out.completed[job] = resp->dump();
+      auto it = live.find(job);
+      if (it != live.end()) {
+        out.pending[it->second].id.clear();  // tombstone
+        live.erase(it);
+      }
+    } else if (kind == "cancel") {
+      auto it = live.find(job);
+      if (it != live.end()) {
+        out.pending[it->second].id.clear();
+        live.erase(it);
+      }
+    } else {
+      ++out.malformed;
+    }
+  }
+  // Compact out the tombstones, preserving acceptance order.
+  std::vector<PendingJob> pending;
+  pending.reserve(live.size());
+  for (PendingJob& p : out.pending)
+    if (!p.id.empty()) pending.push_back(std::move(p));
+  out.pending = std::move(pending);
+  return out;
+}
+
+}  // namespace parabb

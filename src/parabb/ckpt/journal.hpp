@@ -1,0 +1,74 @@
+// Write-ahead job journal for the solver service (docs/formats.md,
+// "Checkpoint & journal").
+//
+// One append-only JSONL file, `<dir>/journal.log`, fsync'd per record:
+//
+//   {"t":"accept","id":<id>,"req":<request object>}   before submit
+//   {"t":"complete","id":<id>,"resp":<response>}      before the reply
+//   {"t":"cancel","id":<id>}                          job withdrawn
+//
+// A restarted `parabb_serve --journal <dir>` replays the log: accepted
+// records without a matching complete/cancel are re-enqueued (or resumed
+// from their per-job engine checkpoint, `<dir>/job-<fp>.ckpt`), completed
+// records become a duplicate-suppression map so a resubmitted id is
+// answered from the log instead of being solved twice.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parabb {
+
+class JobJournal {
+ public:
+  /// Opens (creating the directory and file as needed) for appending.
+  /// Throws std::runtime_error when the directory or file cannot be made.
+  explicit JobJournal(const std::string& dir);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// `request_json` must be one valid JSON value (the request line as
+  /// received); it is embedded verbatim. Each record is flushed and
+  /// fsync'd before the call returns — the record is durable before the
+  /// job is visible anywhere else.
+  void record_accept(const std::string& id, const std::string& request_json);
+  void record_complete(const std::string& id,
+                       const std::string& response_json);
+  void record_cancel(const std::string& id);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Path of the per-job engine checkpoint for request id `id`.
+  std::string job_checkpoint_path(const std::string& id) const;
+
+  /// Records of jobs that never completed, in acceptance order.
+  struct PendingJob {
+    std::string id;
+    std::string request_json;
+  };
+  struct Replay {
+    std::vector<PendingJob> pending;
+    /// id -> response line, for duplicate suppression.
+    std::map<std::string, std::string> completed;
+    /// Lines that failed to parse (torn final write, stray garbage) —
+    /// counted, skipped, never fatal.
+    std::size_t malformed = 0;
+  };
+
+  /// Parses `<dir>/journal.log`; a missing file replays to empty.
+  static Replay replay(const std::string& dir);
+
+ private:
+  void append(const std::string& line);
+
+  std::string dir_;
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace parabb

@@ -16,6 +16,7 @@ std::string to_string(FlightEventKind k) {
     case FlightEventKind::kDispose: return "dispose";
     case FlightEventKind::kSteal: return "steal";
     case FlightEventKind::kDegrade: return "degrade";
+    case FlightEventKind::kCheckpoint: return "checkpoint";
   }
   return "?";
 }

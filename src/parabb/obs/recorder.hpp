@@ -31,6 +31,8 @@ enum class FlightEventKind : std::uint8_t {
   kSteal,      ///< work-stealing batch taken (level = victim, value = count)
   kDegrade,    ///< degradation-ladder rung applied (level = rung, value =
                ///< DegradeAction as an integer; robust/degrade.hpp)
+  kCheckpoint, ///< search snapshot written (value = framed bytes) or
+               ///< restored (level = 1, value = frontier size)
 };
 
 /// Why a kPrune event fired (mirrors the engines' cut sites).

@@ -1,0 +1,53 @@
+// Seeded full-jitter exponential backoff for resubmission loops.
+//
+// When a shed client retries, a deterministic doubling schedule keeps every
+// rejected client in lock-step: they all sleep the same time and stampede
+// the queue together, getting shed together again. Full jitter (AWS
+// architecture blog's "full jitter" variant) draws each delay uniformly
+// from [0, base * 2^attempt), which decorrelates the retry arrivals while
+// keeping the same expected load. The stream is seeded, so tests and the
+// serve smoke script stay reproducible.
+//
+// Header-only; not thread-safe (use one policy per retrying thread).
+#pragma once
+
+#include <cstdint>
+
+namespace parabb {
+
+class BackoffPolicy {
+ public:
+  explicit BackoffPolicy(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next delay in ms: uniform over [0, cap) with
+  /// cap = max(base_ms, 1) * 2^min(attempt, kMaxExponent). The exponent
+  /// clamp keeps the cap finite for pathological attempt counts.
+  double delay_ms(double base_ms, int attempt) noexcept {
+    if (base_ms < 1.0) base_ms = 1.0;
+    int exp = attempt;
+    if (exp < 0) exp = 0;
+    if (exp > kMaxExponent) exp = kMaxExponent;
+    const double cap =
+        base_ms * static_cast<double>(std::uint64_t{1} << exp);
+    return cap * next_unit();
+  }
+
+  /// Exponent ceiling: caps the window at base * 2^30 (~12 days for a
+  /// 1 ms base) so the cap never overflows a double's integer range.
+  static constexpr int kMaxExponent = 30;
+
+ private:
+  /// [0, 1) from a splitmix64 stream — 53 mantissa bits of the mix.
+  double next_unit() noexcept {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t state_;
+};
+
+}  // namespace parabb

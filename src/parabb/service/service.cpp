@@ -1,9 +1,14 @@
 #include "parabb/service/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "parabb/bnb/parallel_engine.hpp"
+#include "parabb/ckpt/checkpoint.hpp"
+#include "parabb/ckpt/journal.hpp"
+#include "parabb/ckpt/snapshot.hpp"
 #include "parabb/obs/observe.hpp"
 #include "parabb/obs/recorder.hpp"
 #include "parabb/obs/span.hpp"
@@ -202,6 +207,36 @@ JobResult SolverService::run_job(const std::shared_ptr<JobRecord>& record) {
     apply_budget(params, req.budget, &record->token);
     params.faults = config_.faults;
     params.progress = &record->progress;
+
+    // Durable per-job checkpoints: with a journal configured, the engine
+    // snapshots its search state into the job's checkpoint file, so a
+    // killed-and-restarted service resumes the job mid-search instead of
+    // redoing it. A snapshot left behind by a crashed predecessor is
+    // adopted only when it matches this exact (instance, parameter) pair;
+    // anything else — missing, torn, corrupt, or from a different request
+    // shape — starts the search fresh.
+    std::optional<CheckpointController> ckpt;
+    SearchSnapshot resume_snap;
+    struct CkptCleanup {  // terminal outcome: the snapshot is spent
+      std::string path;
+      ~CkptCleanup() {
+        if (!path.empty()) std::remove(path.c_str());
+      }
+    } ckpt_cleanup;
+    if (config_.journal != nullptr) {
+      const std::string path = config_.journal->job_checkpoint_path(req.id);
+      ckpt.emplace(path, config_.checkpoint_interval_ms);
+      params.ckpt = &*ckpt;
+      ckpt_cleanup.path = path;
+      try {
+        resume_snap = load_snapshot(path);
+        if (snapshot_matches(resume_snap, ctx, params)) {
+          params.resume = &resume_snap;
+        }
+      } catch (const SnapshotError&) {
+        // No usable snapshot: start fresh.
+      }
+    }
 
     Observation ob;
     ob.metrics = config_.metrics;

@@ -49,6 +49,7 @@ namespace parabb {
 
 class SpanLog;         // obs/span.hpp
 class FaultInjector;   // robust/fault.hpp
+class JobJournal;      // ckpt/journal.hpp
 
 struct ServiceConfig {
   /// Concurrent solve cap = worker threads; 0 = hardware concurrency.
@@ -88,6 +89,19 @@ struct ServiceConfig {
   /// and consulted for kQueueFull admission rejections. Fault-afflicted
   /// results are never cached (they are injection-dependent).
   FaultInjector* faults = nullptr;
+
+  /// Optional durable job journal (ckpt/journal.hpp); not owned, may be
+  /// null, must outlive the service. When set, every running job arms a
+  /// per-job engine checkpoint at journal->job_checkpoint_path(id) (cadence
+  /// `checkpoint_interval_ms`), resumes from a matching snapshot left by a
+  /// crashed predecessor, and removes the snapshot file once the job
+  /// reaches a terminal outcome. Accept/complete records themselves are
+  /// the caller's responsibility (parabb_serve writes them around submit).
+  JobJournal* journal = nullptr;
+
+  /// Per-job snapshot cadence in ms when `journal` is set (<= 0 disables
+  /// the interval; snapshots then only happen on explicit request).
+  double checkpoint_interval_ms = 1000;
 };
 
 /// Thrown by submit() when admission control sheds the job (queue full or

@@ -97,6 +97,24 @@ void CertificateBuilder::finish(bool found, const Schedule& incumbent,
   cert_.generated = generated;
 }
 
+void CertificateBuilder::export_state(std::vector<CutRecord>& cuts,
+                                      std::vector<DegradeRecord>& degrades,
+                                      bool& truncated) const {
+  std::lock_guard lock(mutex_);
+  cuts = cert_.cuts;
+  degrades = cert_.degrades;
+  truncated = cert_.truncated;
+}
+
+void CertificateBuilder::restore_state(std::vector<CutRecord> cuts,
+                                       std::vector<DegradeRecord> degrades,
+                                       bool truncated) {
+  std::lock_guard lock(mutex_);
+  cert_.cuts = std::move(cuts);
+  cert_.degrades = std::move(degrades);
+  cert_.truncated = truncated || cert_.cuts.size() > max_cuts_;
+}
+
 Certificate CertificateBuilder::take() {
   std::lock_guard lock(mutex_);
   return std::move(cert_);

@@ -127,6 +127,17 @@ class CertificateBuilder {
               bool complete, std::uint64_t expanded,
               std::uint64_t generated);
 
+  /// Checkpoint continuity (ckpt/snapshot.hpp). export_state copies the
+  /// accumulated audit log out under the lock; restore_state seeds a
+  /// fresh builder with a snapshot's log (call between begin() and the
+  /// first record_cut), so a resumed run's certificate carries the cuts
+  /// of every incarnation.
+  void export_state(std::vector<CutRecord>& cuts,
+                    std::vector<DegradeRecord>& degrades,
+                    bool& truncated) const;
+  void restore_state(std::vector<CutRecord> cuts,
+                     std::vector<DegradeRecord> degrades, bool truncated);
+
   /// Moves the assembled certificate out (call after the solve returned).
   Certificate take();
 

@@ -22,6 +22,7 @@
 #include "parabb/robust/fault.hpp"
 #include "parabb/robust/watchdog.hpp"
 #include "parabb/sched/validator.hpp"
+#include "parabb/service/backoff.hpp"
 #include "parabb/service/protocol.hpp"
 #include "parabb/service/service.hpp"
 #include "parabb/support/json.hpp"
@@ -202,6 +203,102 @@ TEST(WatchdogTest, AdvancingProgressNeverFires) {
   }
   dog.unwatch(id);
   EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(WatchdogTest, ZeroThresholdsAreRejectedWithLineNumberedError) {
+  // A zero cadence or stall threshold would make the scan thread spin (or
+  // fire instantly on every job); both are configuration bugs and must be
+  // rejected at construction, with the error naming the source line.
+  for (const double bad : {0.0, -5.0}) {
+    Watchdog::Config cfg;
+    cfg.stall_ms = bad;
+    try {
+      Watchdog dog(cfg);
+      FAIL() << "stall_ms=" << bad << " accepted";
+    } catch (const precondition_error& e) {
+      EXPECT_NE(std::string(e.what()).find("watchdog.cpp:"),
+                std::string::npos)
+          << e.what();
+    }
+    Watchdog::Config cfg2;
+    cfg2.interval_ms = bad;
+    EXPECT_THROW(Watchdog dog2(cfg2), precondition_error);
+  }
+  EXPECT_THROW(Watchdog(Watchdog::Config{}).watch(nullptr, {}),
+               precondition_error);
+}
+
+TEST(WatchdogTest, StallFireOnAlreadyCancelledJobIsANoOp) {
+  // The race the service lives with: a job is cancelled (client request,
+  // shutdown) while the watchdog's scan already considers it stalled. The
+  // stall action then lands on an already-tripped token — cancel() is
+  // idempotent, so the fire must be a harmless no-op, not a double-cancel
+  // crash or a second escalation.
+  Watchdog::Config cfg;
+  cfg.interval_ms = 5;
+  cfg.stall_ms = 20;
+  Watchdog dog(cfg);
+  CancelToken token;
+  token.cancel();  // the job is already cancelled...
+  std::atomic<std::uint64_t> progress{0};
+  const std::uint64_t id =
+      dog.watch(&progress, [&token] { token.cancel(); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (dog.stalls_fired() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(dog.stalls_fired(), 1u);  // ...and the fire changed nothing
+  EXPECT_TRUE(token.cancelled());
+  dog.unwatch(id);
+}
+
+// ---------------------------------------------------------------------------
+// Resubmit backoff (tools/parabb_serve --backoff-seed)
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, DelayStaysWithinTheFullJitterEnvelope) {
+  BackoffPolicy policy(42);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const int exp = std::min(attempt, BackoffPolicy::kMaxExponent);
+    const double cap = 50.0 * static_cast<double>(std::uint64_t{1} << exp);
+    for (int i = 0; i < 20; ++i) {
+      const double d = policy.delay_ms(50.0, attempt);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LT(d, cap) << "attempt=" << attempt;
+    }
+  }
+}
+
+TEST(Backoff, SeededStreamsAreReproducible) {
+  BackoffPolicy a(7);
+  BackoffPolicy b(7);
+  BackoffPolicy c(8);
+  bool diverged = false;
+  for (int i = 0; i < 64; ++i) {
+    const double da = a.delay_ms(100.0, i % 8);
+    EXPECT_EQ(da, b.delay_ms(100.0, i % 8));  // same seed: same delays
+    if (da != c.delay_ms(100.0, i % 8)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // different seed: a different schedule
+}
+
+TEST(Backoff, ExponentAndBaseAreClamped) {
+  // Past kMaxExponent the cap freezes (no overflow into inf/negative)...
+  BackoffPolicy policy(1);
+  const double huge_cap =
+      1.0 * static_cast<double>(std::uint64_t{1} << BackoffPolicy::kMaxExponent);
+  for (const int attempt : {31, 100, 1000000}) {
+    const double d = policy.delay_ms(1.0, attempt);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, huge_cap);
+  }
+  // ...a negative attempt behaves like the first (exponent 0)...
+  EXPECT_LT(policy.delay_ms(10.0, -3), 10.0);
+  // ...and a degenerate base is lifted to 1 ms so retries still spread.
+  EXPECT_LT(policy.delay_ms(0.0, 0), 1.0);
+  EXPECT_LT(policy.delay_ms(-100.0, 0), 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -559,6 +656,30 @@ TEST(ServiceRobust, WatchdogCancelsStagnantJob) {
   EXPECT_TRUE(r.error.empty()) << r.error;
   EXPECT_EQ(r.outcome, JobOutcome::kCancelled);
   EXPECT_GE(service.counters().watchdog_cancels, 1u);
+}
+
+TEST(ServiceRobust, WatchdogFireOnCancelledJobStaysCancelled) {
+  // Client cancel and watchdog escalation race on the same stalled job:
+  // whoever wins, the outcome is one defined kCancelled — the later fire
+  // lands on an already-tripped token and changes nothing.
+  FaultInjector inj(one_fault(FaultKind::kStall, 400, /*ms=*/600));
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.watchdog_stall_ms = 150;
+  cfg.faults = &inj;
+  SolverService service(cfg);
+  JobRequest req = make_request("stall-cancel", 7);
+  req.params.ub = UpperBoundInit::kInfinite;  // keep the search long
+  req.budget.max_generated = 4000000;
+  const JobTicket t = service.submit(std::move(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.cancel(t);  // beat the watchdog to the token (usually)
+  const JobResult r = service.wait(t);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.outcome, JobOutcome::kCancelled);
+  // Race-tolerant: the watchdog may or may not have fired too — what must
+  // hold is a single defined cancelled outcome either way.
+  EXPECT_EQ(service.counters().cancelled, 1u);
 }
 
 TEST(ServiceRobust, DegradeRequestFieldThreadsThrough) {

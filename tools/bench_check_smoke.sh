@@ -17,7 +17,7 @@ scratch=$3
 tools_dir=$(dirname "$0")
 
 case $baseline in
-  *micro_lower_bound*|*micro_obs*|*micro_parallel*|*micro_degrade*)
+  *micro_lower_bound*|*micro_obs*|*micro_parallel*|*micro_degrade*|*micro_checkpoint*)
     "$bench" --quick --json "$scratch" > /dev/null
     ;;
   *)

@@ -18,26 +18,44 @@
 //   * a request carrying "flight":true gets a flight-recorder dump
 //     attached to its response if it times out or is cancelled.
 //
+// Durability (docs/robustness.md, "Recovery"):
+//   * --journal DIR arms a write-ahead job journal: every request is
+//     journaled before it is admitted and every response before it is
+//     emitted, and running jobs checkpoint their engine state into DIR.
+//     A restarted server replays the journal — still-pending jobs are
+//     re-enqueued (resuming mid-search from their checkpoint) and a
+//     resubmitted id that already completed is answered straight from
+//     the log, never solved twice.
+//   * SIGTERM drains: in-flight jobs finish, their responses are emitted
+//     and journaled, and the process exits 6 (same as a closed stdout).
+//
 //   $ parabb_serve < requests.jsonl > responses.jsonl
 //   $ parabb_serve --workers 4 --cache 512 requests.jsonl
+//   $ parabb_serve --journal /var/lib/parabb/jobs < requests.jsonl
 //
 // Protocol schema: docs/formats.md, "Solver service protocol".
+#include <signal.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "parabb/ckpt/journal.hpp"
 #include "parabb/obs/metrics.hpp"
 #include "parabb/obs/span.hpp"
 #include "parabb/robust/fault.hpp"
+#include "parabb/service/backoff.hpp"
 #include "parabb/service/protocol.hpp"
 #include "parabb/service/service.hpp"
 #include "parabb/support/cli.hpp"
@@ -47,6 +65,16 @@
 namespace {
 
 using namespace parabb;
+
+/// SIGTERM = drain-and-exit. The handler only sets a flag; the read loop
+/// checks it per line and — because the handler is installed without
+/// SA_RESTART — a getline blocked on stdin is interrupted (EINTR) instead
+/// of resuming, so the loop falls through to the normal drain path.
+std::atomic<bool> g_terminate{false};
+
+extern "C" void handle_serve_sigterm(int) {
+  g_terminate.store(true, std::memory_order_relaxed);
+}
 
 /// Best-effort id recovery from a line whose request failed validation:
 /// the error response should still correlate when the JSON itself was
@@ -130,6 +158,17 @@ int main(int argc, char** argv) {
                     "max exponential-backoff resubmits after an "
                     "overloaded rejection",
                     "3");
+  parser.add_option("backoff-seed",
+                    "seed for the full-jitter resubmit backoff", "1");
+  parser.add_option("journal",
+                    "durable job journal directory: write-ahead "
+                    "accept/complete log plus per-job engine checkpoints, "
+                    "replayed on restart (empty = off)",
+                    "");
+  parser.add_option("checkpoint-interval",
+                    "per-job engine snapshot cadence in ms (with "
+                    "--journal)",
+                    "1000");
   parser.add_option("inject-faults",
                     "run every job under a seeded fault plan (robustness "
                     "testing; empty = off)",
@@ -142,6 +181,14 @@ int main(int argc, char** argv) {
   // turns into a clean drain + exit 6 (docs/robustness.md).
   std::signal(SIGPIPE, SIG_IGN);
 #endif
+
+  // sigaction, not std::signal: SA_RESTART must stay OFF so a read
+  // blocked on stdin is interrupted when the drain flag is raised.
+  struct sigaction term_action = {};
+  term_action.sa_handler = handle_serve_sigterm;
+  sigemptyset(&term_action.sa_mask);
+  term_action.sa_flags = 0;
+  sigaction(SIGTERM, &term_action, nullptr);
 
   try {
     if (!parser.parse(argc, argv)) return 0;
@@ -175,6 +222,24 @@ int main(int argc, char** argv) {
                    injector->plan().describe().c_str());
     }
 
+    // Declared before the service: running jobs checkpoint through the
+    // journal pointer until the service drains.
+    std::optional<JobJournal> journal;
+    std::map<std::string, std::string> completed;
+    std::vector<JobJournal::PendingJob> recovered;
+    if (const std::string jd = parser.get_string("journal"); !jd.empty()) {
+      JobJournal::Replay replayed = JobJournal::replay(jd);
+      completed = std::move(replayed.completed);
+      recovered = std::move(replayed.pending);
+      if (replayed.malformed > 0) {
+        std::fprintf(stderr,
+                     "parabb_serve: journal: ignored %zu malformed "
+                     "record(s) (torn tail write)\n",
+                     replayed.malformed);
+      }
+      journal.emplace(jd);
+    }
+
     ServiceConfig config;
     config.workers = static_cast<int>(parser.get_int("workers"));
     config.cache_entries =
@@ -185,6 +250,11 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(parser.get_int("max-queue"));
     config.watchdog_stall_ms = parser.get_double("watchdog-ms");
     if (injector) config.faults = &*injector;
+    if (journal) {
+      config.journal = &*journal;
+      config.checkpoint_interval_ms =
+          parser.get_double("checkpoint-interval");
+    }
     SolverService service(config);
 
     // A closed/broken stdout (client went away) stops the read loop; the
@@ -225,10 +295,71 @@ int main(int argc, char** argv) {
 
     const int max_resubmits =
         static_cast<int>(parser.get_int("resubmit"));
+    BackoffPolicy backoff(
+        static_cast<std::uint64_t>(parser.get_int("backoff-seed")));
     std::uint64_t rejected = 0;
+
+    // Submission path shared by journal-recovered and fresh requests.
+    // The terminal response is journaled before it is emitted, so a
+    // response the client may have seen is always answerable again from
+    // the completed log after a restart. Overloaded rejections retry
+    // under seeded full jitter (service/backoff.hpp) so shed clients
+    // don't re-stampede in lock-step.
+    const auto submit_request = [&](JobRequest request) {
+      // The responder needs the graph for task names, so it keeps its
+      // own copy (the request itself is copied per submission attempt).
+      auto graph = std::make_shared<const TaskGraph>(request.graph);
+      JobJournal* const wal = journal ? &*journal : nullptr;
+      const auto on_done = [&emit, graph, wal](const JobResult& result) {
+        const std::string json_line = response_to_json(result, *graph);
+        if (wal != nullptr) wal->record_complete(result.id, json_line);
+        emit(json_line);
+      };
+      for (int attempt = 0;; ++attempt) {
+        try {
+          service.submit(request, on_done);
+          break;
+        } catch (const OverloadedError& e) {
+          if (attempt >= max_resubmits) {
+            ++rejected;
+            // Shed past the retry budget: void the accept record so a
+            // restart does not replay a job the client was told to
+            // resubmit themselves.
+            if (wal != nullptr) wal->record_cancel(request.id);
+            emit(overloaded_response_json(request.id, e.retry_after_ms));
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  backoff.delay_ms(e.retry_after_ms, attempt)));
+        }
+      }
+    };
+
+    // Journal replay: jobs accepted by a previous incarnation that never
+    // completed are re-enqueued; each resumes mid-search from its per-job
+    // checkpoint when one survived.
+    if (!recovered.empty()) {
+      std::fprintf(stderr,
+                   "parabb_serve: journal: re-enqueueing %zu in-flight "
+                   "job(s)\n",
+                   recovered.size());
+      for (const auto& p : recovered) {
+        try {
+          submit_request(request_from_json(p.request_json));
+        } catch (const std::exception& e) {
+          ++rejected;
+          const std::string resp = error_response_json(p.id, e.what());
+          if (journal) journal->record_complete(p.id, resp);
+          emit(resp);
+        }
+      }
+    }
+
     std::size_t line_no = 0;
     std::string line;
     while (!out_broken.load(std::memory_order_relaxed) &&
+           !g_terminate.load(std::memory_order_relaxed) &&
            std::getline(in, line)) {
       ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -254,30 +385,20 @@ int main(int argc, char** argv) {
         emit(error_response_json(salvage_id(line), e.what()));
         continue;
       }
-      // The responder needs the graph for task names, so it keeps its
-      // own copy (the request itself is copied per submission attempt).
-      auto graph = std::make_shared<const TaskGraph>(request.graph);
-      const auto on_done = [&emit, graph](const JobResult& result) {
-        emit(response_to_json(result, *graph));
-      };
-      // Overloaded rejections are retried with exponential backoff on
-      // the service's own hint; past the retry budget the client gets an
-      // `overloaded` response and owns the backoff.
-      for (int attempt = 0;; ++attempt) {
-        try {
-          service.submit(request, on_done);
-          break;
-        } catch (const OverloadedError& e) {
-          if (attempt >= max_resubmits) {
-            ++rejected;
-            emit(overloaded_response_json(request.id, e.retry_after_ms));
-            break;
-          }
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(
-                  e.retry_after_ms * static_cast<double>(1 << attempt)));
+      if (journal) {
+        // Duplicate resubmission of a journaled job: answer from the
+        // completed log without solving twice (at-most-once execution
+        // across restarts).
+        if (const auto it = completed.find(request.id);
+            it != completed.end()) {
+          emit(it->second);
+          continue;
         }
+        // Write-ahead accept: once this record is durable, a crash
+        // before the response leads to replay-and-resume on restart.
+        journal->record_accept(request.id, line);
       }
+      submit_request(std::move(request));
     }
 
     service.wait_all();
@@ -302,6 +423,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "parabb_serve: output stream closed; drained in-flight "
                    "jobs and stopped\n");
+      return 6;
+    }
+    if (g_terminate.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "parabb_serve: SIGTERM: drained in-flight jobs, "
+                   "flushed the journal, and stopped\n");
       return 6;
     }
     return 0;

@@ -12,6 +12,8 @@
 //   $ parabb_solve graph.tgf --algo edf --gantt
 //   $ parabb_solve graph.tgf --slice 1.5 --br 0.1 --time-limit 10
 //   $ parabb_solve graph.tgf --max-generated 100000
+//   $ parabb_solve graph.tgf --checkpoint run.ckpt --checkpoint-interval 1000
+//   $ parabb_solve graph.tgf --resume run.ckpt --checkpoint run.ckpt
 #include <csignal>
 #include <cstdio>
 #include <optional>
@@ -19,6 +21,8 @@
 
 #include "parabb/bnb/cancel.hpp"
 #include "parabb/bnb/engine.hpp"
+#include "parabb/ckpt/checkpoint.hpp"
+#include "parabb/ckpt/snapshot.hpp"
 #include "parabb/bnb/parallel_engine.hpp"
 #include "parabb/bnb/search_obs.hpp"
 #include "parabb/deadline/slicing.hpp"
@@ -47,7 +51,21 @@ using namespace parabb;
 // CancelToken::cancel() is a relaxed atomic store: async-signal-safe.
 CancelToken g_interrupt;
 
+// SIGTERM, with --checkpoint armed, means "snapshot, then die": the
+// handler demands an immediate write and the engine winds down (outcome
+// `cancelled`) only after the state is durably on disk. Without a
+// checkpoint it degrades to plain cancellation. Both paths are relaxed
+// atomic stores: async-signal-safe.
+CheckpointController* g_ckpt = nullptr;
+
 extern "C" void handle_sigint(int) { g_interrupt.cancel(); }
+extern "C" void handle_sigterm(int) {
+  if (g_ckpt != nullptr) {
+    g_ckpt->request_now(/*stop_after=*/true);
+  } else {
+    g_interrupt.cancel();
+  }
+}
 
 JsonValue table_to_json(const TextTable& table) {
   JsonValue out = JsonValue::object();
@@ -160,6 +178,16 @@ int main(int argc, char** argv) {
   parser.add_option("stats-json",
                     "write search stats as a parabb-bench-v1 record here "
                     "(bnb algos only)",
+                    "");
+  parser.add_option("checkpoint",
+                    "write crash-safe search snapshots here (bnb algos; "
+                    "SIGTERM = snapshot then exit)",
+                    "");
+  parser.add_option("checkpoint-interval",
+                    "snapshot cadence in ms (0 = only on SIGTERM)", "1000");
+  parser.add_option("resume",
+                    "seed the search from this snapshot (same graph and "
+                    "parameters required)",
                     "");
   parser.add_option("inject-faults",
                     "run under a seeded fault plan (robustness testing; "
@@ -274,7 +302,20 @@ int main(int argc, char** argv) {
       const std::string cert_path = parser.get_string("certify");
       CertificateBuilder builder;
       if (!cert_path.empty()) params.certify = &builder;
+      std::optional<CheckpointController> ckpt;
+      if (const std::string cp = parser.get_string("checkpoint");
+          !cp.empty()) {
+        ckpt.emplace(cp, parser.get_double("checkpoint-interval"));
+        params.ckpt = &*ckpt;
+        g_ckpt = &*ckpt;
+      }
+      SearchSnapshot resume_snap;
+      if (const std::string rp = parser.get_string("resume"); !rp.empty()) {
+        resume_snap = load_snapshot(rp);  // SnapshotError -> exit 2
+        params.resume = &resume_snap;
+      }
       std::signal(SIGINT, handle_sigint);
+      std::signal(SIGTERM, handle_sigterm);
 
       bool found = false;
       bool proved = false;
@@ -316,6 +357,8 @@ int main(int argc, char** argv) {
         engine_info = std::to_string(r.threads_used) + " threads";
       }
       std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      g_ckpt = nullptr;
 
       // Saved before the found check: an infeasible run's certificate is
       // still meaningful (it records why the search came up empty).
